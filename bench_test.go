@@ -1,0 +1,599 @@
+package gpluscircles_test
+
+// The benchmark harness: one benchmark per table and figure of the
+// paper's evaluation (see DESIGN.md's experiment index). Data sets are
+// generated once per benchmark scale and shared across iterations, so
+// timings measure the experiments themselves, not the generators.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The absolute timings depend on BenchScale (default 0.25 of the
+// laptop-scale data sets); the shapes asserted in EXPERIMENTS.md come
+// from the full-scale circlebench run.
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+
+	"gpluscircles/internal/core"
+	"gpluscircles/internal/detect"
+	"gpluscircles/internal/feature"
+	"gpluscircles/internal/graph"
+	"gpluscircles/internal/graphalgo"
+	"gpluscircles/internal/nullmodel"
+	"gpluscircles/internal/powerlaw"
+	"gpluscircles/internal/sample"
+	"gpluscircles/internal/score"
+	"gpluscircles/internal/synth"
+)
+
+// benchScale trades benchmark wall-clock against data-set realism.
+const benchScale = 0.25
+
+var (
+	benchOnce  sync.Once
+	benchSuite *core.Suite
+	benchGPlus *synth.Dataset
+	benchErr   error
+)
+
+// suite lazily generates the shared data sets.
+func suite(b *testing.B) *core.Suite {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchSuite = core.NewSuite(core.SuiteOptions{
+			Scale:             benchScale,
+			Seed:              99,
+			DistanceSources:   24,
+			ClusteringSamples: 800,
+		})
+		// Pre-generate every data set so per-iteration work excludes
+		// generation.
+		if _, benchErr = benchSuite.AllGroupDatasets(); benchErr != nil {
+			return
+		}
+		if _, benchErr = benchSuite.Crawl(); benchErr != nil {
+			return
+		}
+		benchGPlus, benchErr = benchSuite.GPlus()
+	})
+	if benchErr != nil {
+		b.Fatalf("suite setup: %v", benchErr)
+	}
+	return benchSuite
+}
+
+// BenchmarkTable2DatasetComparison regenerates Table II: profiles of the
+// ego-joined and BFS-crawl graphs (diameter, ASP, degree fits,
+// clustering).
+func BenchmarkTable2DatasetComparison(b *testing.B) {
+	s := suite(b)
+	e, err := core.ExperimentByID("table2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(s, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3DatasetSummary regenerates Table III: the four-data-set
+// summary.
+func BenchmarkTable3DatasetSummary(b *testing.B) {
+	s := suite(b)
+	e, err := core.ExperimentByID("table3")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(s, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2EgoMembership regenerates Fig. 1/2: ego-network overlap
+// and the membership-count distribution.
+func BenchmarkFig2EgoMembership(b *testing.B) {
+	s := suite(b)
+	gp, err := s.GPlus()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.AnalyzeOverlap(gp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3DegreeFit regenerates Fig. 3: the CSN three-family fit of
+// the in-degree distribution.
+func BenchmarkFig3DegreeFit(b *testing.B) {
+	s := suite(b)
+	gp, err := s.GPlus()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.FitDegrees(gp.Graph, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4Clustering regenerates Fig. 4: the clustering-coefficient
+// CDF.
+func BenchmarkFig4Clustering(b *testing.B) {
+	s := suite(b)
+	gp, err := s.GPlus()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.MeasureClustering(gp.Graph, 800, s.RNG(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5CirclesVsRandom regenerates Fig. 5: circles vs. size-
+// matched random-walk sets under the four scoring functions.
+func BenchmarkFig5CirclesVsRandom(b *testing.B) {
+	s := suite(b)
+	gp, err := s.GPlus()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.CirclesVsRandom(gp, core.Fig5Options{}, s.RNG(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6CrossNetwork regenerates Fig. 6: the four-network score
+// comparison.
+func BenchmarkFig6CrossNetwork(b *testing.B) {
+	s := suite(b)
+	datasets, err := s.AllGroupDatasets()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.CrossNetwork(datasets, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDirectedVsUndirected regenerates the Section IV-B deviation
+// check (directed scores vs. undirected-projection scores).
+func BenchmarkDirectedVsUndirected(b *testing.B) {
+	s := suite(b)
+	gp, err := s.GPlus()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.DirectednessCheck(gp, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationNullModel regenerates the modularity null-model
+// ablation (analytic Chung–Lu vs. empirical Viger–Latapy expectation).
+func BenchmarkAblationNullModel(b *testing.B) {
+	s := suite(b)
+	gp, err := s.GPlus()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.CompareNullModels(gp, 2, 3, s.RNG(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSampler regenerates the baseline-sampler ablation
+// (random-walk vs. uniform vertex sets).
+func BenchmarkAblationSampler(b *testing.B) {
+	s := suite(b)
+	gp, err := s.GPlus()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.CirclesVsRandom(gp, core.Fig5Options{Sampler: sample.UniformSet}, s.RNG(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionFang regenerates the Fang et al. circle
+// categorization (community vs. celebrity circles).
+func BenchmarkExtensionFang(b *testing.B) {
+	s := suite(b)
+	gp, err := s.GPlus()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.CategorizeCircles(gp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionDetect regenerates the ego-centred circle-detection
+// experiment (label propagation per ego network + balanced F1).
+func BenchmarkExtensionDetect(b *testing.B) {
+	s := suite(b)
+	gp, err := s.GPlus()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.DetectCirclesExperiment(gp, s.RNG(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConfigurationModel measures stub-matching null-graph
+// generation, the alternative to the rewiring chain.
+func BenchmarkConfigurationModel(b *testing.B) {
+	s := suite(b)
+	tw, err := s.Twitter()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := s.RNG(79)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nullmodel.ConfigurationModel(tw.Graph, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionEvolution measures the creation-phase growth
+// simulator (Gong et al. context).
+func BenchmarkExtensionEvolution(b *testing.B) {
+	cfg := synth.DefaultEvolveConfig()
+	cfg.Steps = 30
+	cfg.ArrivalsPerStep = 30
+	cfg.Checkpoints = 5
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		if _, err := synth.Evolve(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionSharing measures one circle-sharing densification
+// round (Fang et al. effect).
+func BenchmarkExtensionSharing(b *testing.B) {
+	s := suite(b)
+	gp, err := s.GPlus()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := synth.DefaultSharingConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		if _, err := synth.ApplyCircleSharing(gp, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParallelScores measures the worker-pool scoring path against
+// BenchmarkPaperScores (the serial one).
+func BenchmarkParallelScores(b *testing.B) {
+	s := suite(b)
+	gp, err := s.GPlus()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := score.NewContext(gp.Graph)
+	fns := score.PaperFuncs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		score.EvaluateGroupsParallel(ctx, gp.Groups, fns, 0)
+	}
+}
+
+// BenchmarkBinaryGraphIO measures the binary CSR round trip on the
+// Google+-like graph.
+func BenchmarkBinaryGraphIO(b *testing.B) {
+	s := suite(b)
+	gp, err := s.GPlus()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := graph.WriteBinary(&buf, gp.Graph); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := graph.ReadBinary(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionBridges regenerates the bridge-vertex analysis
+// (betweenness vs. ego membership).
+func BenchmarkExtensionBridges(b *testing.B) {
+	s := suite(b)
+	gp, err := s.GPlus()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.AnalyzeBridges(gp, 24, s.RNG(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionLocalComm regenerates the sweep-vs-circle comparison.
+func BenchmarkExtensionLocalComm(b *testing.B) {
+	s := suite(b)
+	gp, err := s.GPlus()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.CompareLocalCommunities(gp, 20, s.RNG(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionHomophily regenerates the feature-homophily check.
+func BenchmarkExtensionHomophily(b *testing.B) {
+	s := suite(b)
+	gp, err := s.GPlus()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := feature.DefaultPlantConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		if _, err := core.MeasureHomophily(gp, cfg, s.RNG(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSampledBetweenness measures Brandes sweeps on the Google+-like
+// graph.
+func BenchmarkSampledBetweenness(b *testing.B) {
+	s := suite(b)
+	gp, err := s.GPlus()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := s.RNG(80)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := graphalgo.SampledBetweenness(gp.Graph, 16, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParallelDistances measures the worker-pool distance sampler.
+func BenchmarkParallelDistances(b *testing.B) {
+	s := suite(b)
+	gp, err := s.GPlus()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := graphalgo.ParallelSampledDistances(gp.Graph, 32, 0, s.RNG(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Substrate micro-benchmarks -----------------------------------------
+
+// BenchmarkGraphBuild measures CSR construction throughput on the
+// Google+-like edge multiset.
+func BenchmarkGraphBuild(b *testing.B) {
+	s := suite(b)
+	gp, err := s.GPlus()
+	if err != nil {
+		b.Fatal(err)
+	}
+	edges := make([][2]int64, 0, gp.Graph.NumEdges())
+	gp.Graph.Edges(func(e graph.Edge) bool {
+		edges = append(edges, [2]int64{
+			gp.Graph.ExternalID(e.From), gp.Graph.ExternalID(e.To),
+		})
+		return true
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := graph.FromEdges(true, edges); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCutStats measures the scoring primitive: internal/boundary
+// edge counting over all circles.
+func BenchmarkCutStats(b *testing.B) {
+	s := suite(b)
+	gp, err := s.GPlus()
+	if err != nil {
+		b.Fatal(err)
+	}
+	set := graph.NewSet(gp.Graph.NumVertices())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, grp := range gp.Groups {
+			set.Fill(grp.Members)
+			graph.Cut(gp.Graph, set)
+		}
+	}
+}
+
+// BenchmarkPaperScores measures the four scoring functions over all
+// circles.
+func BenchmarkPaperScores(b *testing.B) {
+	s := suite(b)
+	gp, err := s.GPlus()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := score.NewContext(gp.Graph)
+	fns := score.PaperFuncs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		score.EvaluateGroups(ctx, gp.Groups, fns)
+	}
+}
+
+// BenchmarkBFS measures single-source BFS on the Google+-like graph.
+func BenchmarkBFS(b *testing.B) {
+	s := suite(b)
+	gp, err := s.GPlus()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		graphalgo.BFSDistances(gp.Graph, graph.VID(i%gp.Graph.NumVertices()), graphalgo.Both)
+	}
+}
+
+// BenchmarkRandomWalkSet measures the Fig. 5 baseline sampler.
+func BenchmarkRandomWalkSet(b *testing.B) {
+	s := suite(b)
+	gp, err := s.GPlus()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := s.RNG(77)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sample.RandomWalkSet(gp.Graph, 50, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRewire measures the Viger–Latapy swap chain (1 swap per edge).
+func BenchmarkRewire(b *testing.B) {
+	s := suite(b)
+	tw, err := s.Twitter()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := s.RNG(78)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nullmodel.Rewire(tw.Graph, 1, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLabelPropagation measures global label-propagation detection
+// on the Twitter-like graph.
+func BenchmarkLabelPropagation(b *testing.B) {
+	s := suite(b)
+	tw, err := s.Twitter()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := s.RNG(81)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := detect.LabelPropagation(tw.Graph, detect.LabelPropagationOptions{}, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGreedyModularity measures CNM agglomeration on the Twitter-
+// like graph.
+func BenchmarkGreedyModularity(b *testing.B) {
+	s := suite(b)
+	tw, err := s.Twitter()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := detect.GreedyModularity(tw.Graph, detect.GreedyModularityOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConductanceSweep measures one local-community sweep on the
+// Google+-like graph.
+func BenchmarkConductanceSweep(b *testing.B) {
+	s := suite(b)
+	gp, err := s.GPlus()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seed := graph.VID(i % gp.Graph.NumVertices())
+		if _, _, err := detect.ConductanceSweep(gp.Graph, seed, detect.SweepOptions{MaxSize: 60}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPowerLawFit measures a single CSN power-law MLE fit on the
+// crawl graph's in-degrees.
+func BenchmarkPowerLawFit(b *testing.B) {
+	s := suite(b)
+	crawl, err := s.Crawl()
+	if err != nil {
+		b.Fatal(err)
+	}
+	deg := crawl.Graph.InDegreeSequence()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := powerlaw.FitPowerLaw(deg, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

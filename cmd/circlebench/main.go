@@ -1,0 +1,74 @@
+// Command circlebench regenerates every table and figure of the paper
+// "Are Circles Communities?" on the synthetic data sets, or a single
+// experiment selected by ID.
+//
+// Usage:
+//
+//	circlebench [-scale 1.0] [-seed 1] [-null-samples 0] [-experiment id]
+//	circlebench -list
+//
+// Experiment IDs map to the paper's artifacts (table2, table3, fig2,
+// fig3, fig4, fig5, fig6, directedness, ablation-null, ablation-sampler,
+// extended-scores). Without -experiment, all run in paper order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gpluscircles/internal/core"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "circlebench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		scale       = flag.Float64("scale", 1.0, "data-set scale factor (1.0 = laptop default, ~1/25 of the paper)")
+		seed        = flag.Int64("seed", 1, "generator and sampler seed")
+		nullSamples = flag.Int("null-samples", 0, "Viger-Latapy null-model samples for Modularity (0 = analytic Chung-Lu)")
+		experiment  = flag.String("experiment", "", "run only this experiment ID")
+		list        = flag.Bool("list", false, "list experiment IDs and exit")
+		csvDir      = flag.String("csv", "", "also write the figure data series as CSV files into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range core.Experiments() {
+			fmt.Printf("%-18s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+
+	suite := core.NewSuite(core.SuiteOptions{
+		Scale:            *scale,
+		Seed:             *seed,
+		NullModelSamples: *nullSamples,
+	})
+
+	if *experiment != "" {
+		e, err := core.ExperimentByID(*experiment)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("=== %s [%s] ===\n\n", e.Title, e.ID)
+		if err := e.Run(suite, os.Stdout); err != nil {
+			return err
+		}
+	} else if err := core.RunAll(suite, os.Stdout); err != nil {
+		return err
+	}
+
+	if *csvDir != "" {
+		if err := core.WriteFigureCSVs(suite, *csvDir); err != nil {
+			return err
+		}
+		fmt.Printf("\nfigure CSV series written to %s\n", *csvDir)
+	}
+	return nil
+}

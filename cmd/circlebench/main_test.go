@@ -1,0 +1,54 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// runWith invokes run() with a fresh flag set and stdout silenced.
+func runWith(t *testing.T, args ...string) error {
+	t.Helper()
+	oldArgs, oldFlags, oldStdout := os.Args, flag.CommandLine, os.Stdout
+	defer func() {
+		os.Args, flag.CommandLine, os.Stdout = oldArgs, oldFlags, oldStdout
+	}()
+	devNull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devNull.Close()
+	os.Stdout = devNull
+	flag.CommandLine = flag.NewFlagSet("circlebench", flag.ContinueOnError)
+	os.Args = append([]string{"circlebench"}, args...)
+	return run()
+}
+
+func TestRunList(t *testing.T) {
+	if err := runWith(t, "-list"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := runWith(t, "-scale", "0.1", "-experiment", "table3"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := runWith(t, "-experiment", "nope"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunWithCSV(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "csv")
+	if err := runWith(t, "-scale", "0.1", "-experiment", "table3", "-csv", dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig5.csv")); err != nil {
+		t.Errorf("fig5.csv not written: %v", err)
+	}
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func runWith(t *testing.T, args ...string) error {
+	t.Helper()
+	oldArgs, oldFlags, oldStdout := os.Args, flag.CommandLine, os.Stdout
+	defer func() {
+		os.Args, flag.CommandLine, os.Stdout = oldArgs, oldFlags, oldStdout
+	}()
+	devNull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devNull.Close()
+	os.Stdout = devNull
+	flag.CommandLine = flag.NewFlagSet("circledetect", flag.ContinueOnError)
+	os.Args = append([]string{"circledetect"}, args...)
+	return run()
+}
+
+// writeEgoDir builds a tiny two-facet ego directory.
+func writeEgoDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	edges := ""
+	// Two near-cliques among alters 0-4 and 10-14.
+	for _, base := range []int{0, 10} {
+		for i := base; i < base+5; i++ {
+			for j := i + 1; j < base+5; j++ {
+				edges += itoa(i) + " " + itoa(j) + "\n"
+			}
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, "100.edges"), []byte(edges), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	circles := "c0\t0\t1\t2\t3\t4\nc1\t10\t11\t12\t13\t14\n"
+	if err := os.WriteFile(filepath.Join(dir, "100.circles"), []byte(circles), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var digits []byte
+	for v > 0 {
+		digits = append([]byte{byte('0' + v%10)}, digits...)
+		v /= 10
+	}
+	return string(digits)
+}
+
+func TestRunDetect(t *testing.T) {
+	dir := writeEgoDir(t)
+	if err := runWith(t, dir); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDetectMissingArg(t *testing.T) {
+	if err := runWith(t); err == nil {
+		t.Error("missing dir accepted")
+	}
+}
+
+func TestRunDetectMissingDir(t *testing.T) {
+	if err := runWith(t, "/nonexistent/egos"); err == nil {
+		t.Error("missing dir accepted")
+	}
+}

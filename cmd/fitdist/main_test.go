@@ -1,0 +1,111 @@
+package main
+
+import (
+	"flag"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// runWith invokes run() with a fresh flag set and stdout silenced.
+func runWith(t *testing.T, args ...string) error {
+	t.Helper()
+	oldArgs, oldFlags, oldStdout := os.Args, flag.CommandLine, os.Stdout
+	defer func() {
+		os.Args, flag.CommandLine, os.Stdout = oldArgs, oldFlags, oldStdout
+	}()
+	devNull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devNull.Close()
+	os.Stdout = devNull
+	flag.CommandLine = flag.NewFlagSet("fitdist", flag.ContinueOnError)
+	os.Args = append([]string{"fitdist"}, args...)
+	return run()
+}
+
+func TestRunValuesMode(t *testing.T) {
+	// Power-law-ish values via a simple Zipf draw.
+	rng := rand.New(rand.NewSource(1))
+	content := ""
+	for i := 0; i < 800; i++ {
+		v := 1
+		for rng.Float64() < 0.6 && v < 500 {
+			v *= 2
+		}
+		content += strconv.Itoa(v) + "\n"
+	}
+	path := filepath.Join(t.TempDir(), "vals.txt")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runWith(t, "-mode", "values", "-xmin", "1", path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunEdgesMode(t *testing.T) {
+	content := ""
+	for i := 0; i < 60; i++ {
+		content += strconv.Itoa(i) + " " + strconv.Itoa((i*3+1)%60) + "\n"
+		content += strconv.Itoa(i) + " " + strconv.Itoa((i+1)%60) + "\n"
+	}
+	path := filepath.Join(t.TempDir(), "edges.txt")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runWith(t, "-xmin", "1", path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadMode(t *testing.T) {
+	if err := runWith(t, "-mode", "nope", "/dev/null"); err == nil {
+		t.Error("bad mode accepted")
+	}
+}
+
+func TestRunMissingArg(t *testing.T) {
+	if err := runWith(t); err == nil {
+		t.Error("missing path accepted")
+	}
+}
+
+func TestReadValues(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "values.txt")
+	if err := os.WriteFile(path, []byte("# header\n1\n\n2\n3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := readValues(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	if len(vals) != len(want) {
+		t.Fatalf("vals = %v, want %v", vals, want)
+	}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("vals = %v, want %v", vals, want)
+		}
+	}
+}
+
+func TestReadValuesBadToken(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.txt")
+	if err := os.WriteFile(path, []byte("1\nxyz\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readValues(path); err == nil {
+		t.Error("non-numeric line accepted")
+	}
+}
+
+func TestReadValuesMissingFile(t *testing.T) {
+	if _, err := readValues("/nonexistent/values.txt"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

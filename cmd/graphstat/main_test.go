@@ -1,0 +1,81 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func runWith(t *testing.T, args ...string) error {
+	t.Helper()
+	oldArgs, oldFlags, oldStdout := os.Args, flag.CommandLine, os.Stdout
+	defer func() {
+		os.Args, flag.CommandLine, os.Stdout = oldArgs, oldFlags, oldStdout
+	}()
+	devNull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devNull.Close()
+	os.Stdout = devNull
+	flag.CommandLine = flag.NewFlagSet("graphstat", flag.ContinueOnError)
+	os.Args = append([]string{"graphstat"}, args...)
+	return run()
+}
+
+// writeSampleGraph creates a small connected edge list.
+func writeSampleGraph(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.txt")
+	content := "# sample\n"
+	for i := 0; i < 30; i++ {
+		content += pathLine(i, (i+1)%30) + pathLine(i, (i*7+3)%30)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func pathLine(a, b int) string {
+	return itoa(a) + " " + itoa(b) + "\n"
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var digits []byte
+	for v > 0 {
+		digits = append([]byte{byte('0' + v%10)}, digits...)
+		v /= 10
+	}
+	return string(digits)
+}
+
+func TestRunProfile(t *testing.T) {
+	path := writeSampleGraph(t)
+	if err := runWith(t, "-directed", "-sources", "8", "-cc-samples", "10", path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunProfileTopCentralities(t *testing.T) {
+	path := writeSampleGraph(t)
+	if err := runWith(t, "-sources", "8", "-cc-samples", "10", "-top", "3", path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMissingArg(t *testing.T) {
+	if err := runWith(t); err == nil {
+		t.Error("missing path accepted")
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	if err := runWith(t, "/nonexistent/graph.txt"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,88 @@
+// Command synthgen materializes the synthetic data sets to disk in SNAP
+// formats: an edge list per graph plus a community file for its groups,
+// so external tooling (or the other commands here) can consume them.
+//
+// Usage:
+//
+//	synthgen [-scale 1.0] [-seed 1] [-out dir] [-dataset name]
+//
+// Datasets: gplus, twitter, livejournal, orkut, crawl, all (default).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"gpluscircles/internal/core"
+	"gpluscircles/internal/dataset"
+	"gpluscircles/internal/synth"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "synthgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		scale  = flag.Float64("scale", 1.0, "data-set scale factor")
+		seed   = flag.Int64("seed", 1, "generator seed")
+		out    = flag.String("out", ".", "output directory")
+		which  = flag.String("dataset", "all", "gplus|twitter|livejournal|orkut|crawl|all")
+		binary = flag.Bool("binary", false, "additionally write binary CSR graphs (.bin) for fast reload")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return fmt.Errorf("create output dir: %w", err)
+	}
+	suite := core.NewSuite(core.SuiteOptions{Scale: *scale, Seed: *seed})
+
+	generators := map[string]func() (*synth.Dataset, error){
+		"gplus":       suite.GPlus,
+		"twitter":     suite.Twitter,
+		"livejournal": suite.LiveJournal,
+		"orkut":       suite.Orkut,
+		"crawl":       suite.Crawl,
+	}
+	names := []string{"gplus", "twitter", "livejournal", "orkut", "crawl"}
+	if *which != "all" {
+		if _, ok := generators[*which]; !ok {
+			return fmt.Errorf("unknown dataset %q (want %s or all)", *which, strings.Join(names, "|"))
+		}
+		names = []string{*which}
+	}
+
+	for _, name := range names {
+		ds, err := generators[name]()
+		if err != nil {
+			return err
+		}
+		edgePath := filepath.Join(*out, name+".edges.txt")
+		if err := dataset.WriteEdgeListFile(edgePath, ds.Graph, ds.Name); err != nil {
+			return err
+		}
+		fmt.Printf("%s: wrote %s (%d vertices, %d edges)\n",
+			ds.Name, edgePath, ds.Graph.NumVertices(), ds.Graph.NumEdges())
+		if len(ds.Groups) > 0 {
+			groupPath := filepath.Join(*out, name+".cmty.txt")
+			if err := dataset.WriteCommunitiesFile(groupPath, ds.Graph, ds.Groups); err != nil {
+				return err
+			}
+			fmt.Printf("%s: wrote %s (%d groups)\n", ds.Name, groupPath, len(ds.Groups))
+		}
+		if *binary {
+			binPath := filepath.Join(*out, name+".bin")
+			if err := dataset.WriteBinaryGraphFile(binPath, ds.Graph); err != nil {
+				return err
+			}
+			fmt.Printf("%s: wrote %s (binary CSR)\n", ds.Name, binPath)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+// Package gpluscircles is a from-scratch Go reproduction of Brauer &
+// Schmidt, "Are Circles Communities? A Comparative Analysis of Selective
+// Sharing in Google+" (ICDCS 2014 Workshops).
+//
+// The repository contains the full measurement pipeline of the paper —
+// graph substrate, community scoring functions, degree-distribution
+// fitting, null models, random-walk baselines — plus synthetic generators
+// standing in for the four crawled data sets the paper evaluates. See
+// README.md for a tour, DESIGN.md for the system inventory and
+// substitution notes, and EXPERIMENTS.md for paper-vs-measured results.
+//
+// The library lives under internal/; runnable entry points are the
+// commands under cmd/ and the programs under examples/. The benchmark
+// harness in bench_test.go regenerates every table and figure of the
+// paper's evaluation.
+package gpluscircles

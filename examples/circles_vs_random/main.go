@@ -1,0 +1,76 @@
+// circles_vs_random reproduces the Fig. 5 study on a generated Google+-
+// like ego-network graph: are circles pronounced structures? Circles are
+// scored against size-matched random-walk vertex sets under the four
+// scoring functions, and the CDF separation is reported.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"gpluscircles/internal/core"
+	"gpluscircles/internal/report"
+	"gpluscircles/internal/synth"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A reduced Google+-like data set: overlapping ego networks with
+	// owner-curated circles (see internal/synth for the knobs).
+	cfg := synth.DefaultEgoConfig()
+	cfg.NumEgos = 24
+	cfg.PoolSize = 1300
+	cfg.MeanEgoSize = 90
+	cfg.Seed = 7
+	ds, err := synth.GenerateEgo(cfg)
+	if err != nil {
+		return fmt.Errorf("generate data set: %w", err)
+	}
+	fmt.Printf("data set: %d vertices, %d arcs, %d circles\n\n",
+		ds.Graph.NumVertices(), ds.Graph.NumEdges(), len(ds.Groups))
+
+	// Score circles against size-matched random-walk sets.
+	res, err := core.CirclesVsRandom(ds, core.Fig5Options{}, rand.New(rand.NewSource(11)))
+	if err != nil {
+		return fmt.Errorf("fig5 experiment: %w", err)
+	}
+
+	tbl := report.NewTable("Circles vs. random-walk sets (Fig. 5)",
+		"Function", "Circles mean", "Random mean", "KS separation")
+	for _, p := range res.Panels {
+		tbl.AddRow(p.Circles.FuncLabel,
+			report.Fmt(p.Circles.Mean), report.Fmt(p.Random.Mean), report.Fmt(p.KS))
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	// Render one CDF panel (Conductance, the paper's most telling one).
+	for _, p := range res.Panels {
+		if p.Circles.FuncName != "conductance" {
+			continue
+		}
+		fmt.Println()
+		err := report.AsciiPlot(os.Stdout, report.PlotConfig{
+			Title:  "CDF of Conductance: circles vs. random-walk sets",
+			XLabel: "conductance",
+			YLabel: "P(X <= x)",
+		}, []report.Series{
+			report.CDFSeries("circles", p.Circles.CDF),
+			report.CDFSeries("random", p.Random.CDF),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Println("\nAll four functions should separate the red circles from the")
+	fmt.Println("random sets — the paper's 'pronounced structures' finding.")
+	return nil
+}

@@ -1,0 +1,78 @@
+// cross_network reproduces the Fig. 6 comparison at reduced scale: circle
+// structures (Google+-like ego graph, Twitter-like follower graph) versus
+// classical communities (LiveJournal- and Orkut-like AGM graphs) under
+// the four scoring functions, exposing the paper's central finding —
+// circles are internally community-like but far less separated from the
+// rest of the network.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"gpluscircles/internal/core"
+	"gpluscircles/internal/report"
+	"gpluscircles/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	suite := core.NewSuite(core.SuiteOptions{Scale: 0.35, Seed: 3})
+	datasets, err := suite.AllGroupDatasets()
+	if err != nil {
+		return err
+	}
+	for _, ds := range datasets {
+		fmt.Printf("%-12s %8d vertices %10d edges  %4d %s\n",
+			ds.Name, ds.Graph.NumVertices(), ds.Graph.NumEdges(), len(ds.Groups), ds.Kind)
+	}
+	fmt.Println()
+
+	res, err := core.CrossNetwork(datasets, nil)
+	if err != nil {
+		return err
+	}
+
+	for _, panel := range res.Panels {
+		tbl := report.NewTable(panel.FuncLabel, "Data set", "Kind", "Mean", "Median")
+		for _, dd := range panel.PerDataset {
+			s, err := stats.Summarize(dd.Dist.Scores)
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", panel.FuncName, dd.Dataset, err)
+			}
+			tbl.AddRow(dd.Dataset, dd.Kind.String(), report.Fmt(s.Mean), report.Fmt(s.Median))
+		}
+		if err := tbl.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	// The conductance CDF is where circles and communities diverge most.
+	for _, panel := range res.Panels {
+		if panel.FuncName != "conductance" {
+			continue
+		}
+		series := make([]report.Series, 0, len(panel.PerDataset))
+		for _, dd := range panel.PerDataset {
+			series = append(series, report.CDFSeries(dd.Dataset, dd.Dist.CDF))
+		}
+		err := report.AsciiPlot(os.Stdout, report.PlotConfig{
+			Title:  "CDF of Conductance across the four networks (Fig. 6c)",
+			XLabel: "conductance",
+			YLabel: "P(X <= x)",
+		}, series)
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Println("\nReading: almost all circles sit near conductance 1 (open to the")
+	fmt.Println("network), while communities spread across the whole [0,1] range.")
+	return nil
+}

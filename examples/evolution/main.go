@@ -1,0 +1,60 @@
+// evolution runs the creation-phase growth simulator: a Google+-like
+// network grows from a seed community through invitations, triadic
+// closure and preferential attachment, and the clustering coefficient is
+// tracked over time — the context of Gong et al.'s measurement (cited in
+// the paper's Section IV-A2), whose highest clustering appeared at the
+// very beginning of the network's life.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"gpluscircles/internal/report"
+	"gpluscircles/internal/synth"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cfg := synth.DefaultEvolveConfig()
+	evo, err := synth.Evolve(cfg)
+	if err != nil {
+		return fmt.Errorf("simulate: %w", err)
+	}
+
+	tbl := report.NewTable("Creation-phase snapshots",
+		"Step", "Users", "Follows", "Mean degree", "Clustering", "Reciprocity")
+	for _, s := range evo.Snapshots {
+		tbl.AddRow(fmt.Sprintf("%d", s.Step),
+			report.FmtInt(int64(s.Vertices)), report.FmtInt(s.Edges),
+			report.Fmt(s.MeanDegree), report.Fmt(s.Clustering), report.Fmt(s.Reciprocity))
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	xs := make([]float64, len(evo.Snapshots))
+	ys := make([]float64, len(evo.Snapshots))
+	for i, s := range evo.Snapshots {
+		xs[i] = float64(s.Step)
+		ys[i] = s.Clustering
+	}
+	fmt.Println()
+	if err := report.AsciiPlot(os.Stdout, report.PlotConfig{
+		Title:  "Mean local clustering coefficient over time",
+		XLabel: "step",
+		YLabel: "clustering",
+	}, []report.Series{{Name: "clustering", X: xs, Y: ys}}); err != nil {
+		return err
+	}
+	fmt.Println("\nThe seed community starts near-clique (high clustering); growth")
+	fmt.Println("dilutes it toward a steady state set by the triadic-closure rate —")
+	fmt.Println("the declining trajectory Gong et al. measured on the real network.")
+	return nil
+}

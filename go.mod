@@ -1,0 +1,3 @@
+module gpluscircles
+
+go 1.22

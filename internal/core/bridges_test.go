@@ -1,0 +1,77 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestAnalyzeBridges(t *testing.T) {
+	s := testSuite()
+	gp, err := s.GPlus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := AnalyzeBridges(gp, 32, s.RNG(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's claim: multi-ego vertices drive connectivity. The
+	// generator plants that via the shared pool, so the correlation must
+	// be clearly positive and multi-ego vertices must out-bridge
+	// single-ego ones.
+	if res.Spearman <= 0.1 {
+		t.Errorf("Spearman(membership, betweenness) = %.3f, want clearly positive", res.Spearman)
+	}
+	if res.MeanBetweennessMulti <= res.MeanBetweennessSingle {
+		t.Errorf("multi-ego betweenness %.1f <= single-ego %.1f",
+			res.MeanBetweennessMulti, res.MeanBetweennessSingle)
+	}
+	if res.TopMembershipShare <= 0.01 {
+		t.Errorf("top-1%% membership share %.4f implausibly low", res.TopMembershipShare)
+	}
+}
+
+func TestAnalyzeBridgesValidation(t *testing.T) {
+	s := testSuite()
+	gp, err := s.GPlus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AnalyzeBridges(gp, 8, nil); !errors.Is(err, ErrNoRNG) {
+		t.Errorf("err = %v, want ErrNoRNG", err)
+	}
+	lj, err := s.LiveJournal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AnalyzeBridges(lj, 8, rand.New(rand.NewSource(1))); !errors.Is(err, ErrNoEgoData) {
+		t.Errorf("err = %v, want ErrNoEgoData", err)
+	}
+}
+
+func TestBridgesExperimentRenders(t *testing.T) {
+	s := testSuite()
+	e, err := ExperimentByID("extension-bridges")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := e.Run(s, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Spearman") {
+		t.Error("rendered output missing correlation row")
+	}
+}
+
+func TestTopKByValue(t *testing.T) {
+	got := topKByValue([]float64{5, 1, 9, 3}, 2)
+	if len(got) != 2 || got[0] != 2 || got[1] != 0 {
+		t.Errorf("topK = %v, want [2 0]", got)
+	}
+	if got := topKByValue([]float64{1}, 5); len(got) != 1 {
+		t.Errorf("topK over-selected: %v", got)
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"gpluscircles/internal/score"
+	"gpluscircles/internal/synth"
+)
+
+func TestScoreCorrelationsMatrix(t *testing.T) {
+	s := testSuite()
+	gp, err := s.GPlus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ScoreCorrelations(gp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(score.AllFuncs())
+	if len(res.Funcs) != n || len(res.Matrix) != n {
+		t.Fatalf("matrix size %dx%d, want %d", len(res.Funcs), len(res.Matrix), n)
+	}
+	idx := map[string]int{}
+	for i, name := range res.Funcs {
+		idx[name] = i
+	}
+	for i := range res.Matrix {
+		if res.Matrix[i][i] != 1 {
+			t.Errorf("diagonal [%d][%d] = %v, want 1", i, i, res.Matrix[i][i])
+		}
+		for j := range res.Matrix {
+			if res.Matrix[i][j] != res.Matrix[j][i] {
+				t.Errorf("matrix not symmetric at %d,%d", i, j)
+			}
+			if res.Matrix[i][j] < -1-1e-9 || res.Matrix[i][j] > 1+1e-9 {
+				t.Errorf("correlation out of range: %v", res.Matrix[i][j])
+			}
+		}
+	}
+
+	// The Yang-Leskovec structure the paper relies on: internal-
+	// connectivity functions correlate positively with each other, and
+	// external-connectivity functions likewise.
+	internalPair := res.Matrix[idx["avgdeg"]][idx["edges"]]
+	if internalPair <= 0.3 {
+		t.Errorf("avgdeg vs edges correlation %.2f, want clearly positive", internalPair)
+	}
+	externalPair := res.Matrix[idx["ratiocut"]][idx["expansion"]]
+	if externalPair <= 0.3 {
+		t.Errorf("ratiocut vs expansion correlation %.2f, want clearly positive", externalPair)
+	}
+	// Conductance opposes separability (well-separated sets have low
+	// conductance).
+	opposed := res.Matrix[idx["conductance"]][idx["separability"]]
+	if opposed >= -0.3 {
+		t.Errorf("conductance vs separability correlation %.2f, want clearly negative", opposed)
+	}
+}
+
+func TestScoreCorrelationsValidation(t *testing.T) {
+	s := testSuite()
+	gp, err := s.GPlus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := &synth.Dataset{Name: "empty", Graph: gp.Graph}
+	if _, err := ScoreCorrelations(empty, nil); !errors.Is(err, ErrNoGroups) {
+		t.Errorf("err = %v, want ErrNoGroups", err)
+	}
+}
+
+func TestCorrelationExperimentRenders(t *testing.T) {
+	s := testSuite()
+	e, err := ExperimentByID("extension-correlation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := e.Run(s, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "conductance") {
+		t.Error("rendered matrix missing function names")
+	}
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFigureCSVs(t *testing.T) {
+	s := testSuite()
+	dir := t.TempDir()
+	if err := WriteFigureCSVs(s, dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig2.csv", "fig3.csv", "fig4.csv", "fig5.csv", "fig6.csv", "groupsizes.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+		if len(lines) < 2 {
+			t.Errorf("%s has %d lines, want header plus data", name, len(lines))
+		}
+		if lines[0] != "series,x,y" {
+			t.Errorf("%s header = %q", name, lines[0])
+		}
+		for _, line := range lines[1:3] {
+			if strings.Count(line, ",") != 2 {
+				t.Errorf("%s malformed row %q", name, line)
+			}
+		}
+	}
+	// fig6 must contain all four data sets and all four functions.
+	data, err := os.ReadFile(filepath.Join(dir, "fig6.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"avgdeg/Google+", "ratiocut/Twitter", "conductance/LiveJournal", "modularity/Orkut"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("fig6.csv missing series %q", want)
+		}
+	}
+}
+
+func TestWriteFigureCSVsBadDir(t *testing.T) {
+	s := testSuite()
+	if err := WriteFigureCSVs(s, "/proc/definitely/not/writable"); err == nil {
+		t.Error("unwritable dir accepted")
+	}
+}

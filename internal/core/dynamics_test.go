@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// fmtSscan parses one float.
+func fmtSscan(s string, out *float64) (int, error) {
+	return fmt.Sscan(s, out)
+}
+
+func TestDynamicsExperimentsRender(t *testing.T) {
+	s := testSuite()
+	cases := []struct {
+		id   string
+		want []string
+	}{
+		{"extension-evolution", []string{"Clustering", "Vertices", "creation phase"}},
+		{"extension-sharing", []string{"densification", "Before", "After"}},
+	}
+	for _, tc := range cases {
+		e, err := ExperimentByID(tc.id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := e.Run(s, &sb); err != nil {
+			t.Fatalf("%s: %v", tc.id, err)
+		}
+		out := strings.ToLower(sb.String())
+		for _, want := range tc.want {
+			if !strings.Contains(out, strings.ToLower(want)) {
+				t.Errorf("%s output missing %q", tc.id, want)
+			}
+		}
+	}
+}
+
+// TestSharingExperimentDirection asserts the densification direction on
+// the suite's data set: conductance must drop after sharing.
+func TestSharingExperimentDirection(t *testing.T) {
+	s := testSuite()
+	e, err := ExperimentByID("extension-sharing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := e.Run(s, &sb); err != nil {
+		t.Fatal(err)
+	}
+	// Parse the Conductance row: "Conductance  <before>  <after>".
+	var before, after float64
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if !strings.HasPrefix(line, "Conductance") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			t.Fatalf("unexpected conductance row: %q", line)
+		}
+		if _, err := fmtSscan(fields[1], &before); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fmtSscan(fields[2], &after); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if before == 0 || after == 0 {
+		t.Fatal("conductance row not found")
+	}
+	if after >= before {
+		t.Errorf("sharing did not lower conductance: %v -> %v", before, after)
+	}
+}

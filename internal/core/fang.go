@@ -1,0 +1,248 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gpluscircles/internal/graph"
+	"gpluscircles/internal/score"
+
+	"gpluscircles/internal/synth"
+)
+
+// CircleCategory is Fang et al.'s two-way classification of shared
+// circles, which the paper uses to explain the long tails of Fig. 5: most
+// circles cover *communities* (dense, reciprocal), a minority covers
+// *celebrities* (star-like: low internal density, low reciprocity, very
+// popular members).
+type CircleCategory int
+
+const (
+	// CommunityCircle is a dense, reciprocal circle.
+	CommunityCircle CircleCategory = iota + 1
+	// CelebrityCircle is a sparse circle of high-in-degree members.
+	CelebrityCircle
+)
+
+// String implements fmt.Stringer.
+func (c CircleCategory) String() string {
+	switch c {
+	case CommunityCircle:
+		return "community"
+	case CelebrityCircle:
+		return "celebrity"
+	default:
+		return fmt.Sprintf("CircleCategory(%d)", int(c))
+	}
+}
+
+// CircleProfile holds the per-circle features behind the categorization.
+type CircleProfile struct {
+	Name string
+	// Density is the internal edge density (directed pairs).
+	Density float64
+	// Reciprocity is the share of internal arcs with a reverse arc.
+	Reciprocity float64
+	// MeanMemberInDegree is the members' average global in-degree.
+	MeanMemberInDegree float64
+	Category           CircleCategory
+}
+
+// FangResult is the outcome of the categorization experiment.
+type FangResult struct {
+	Profiles []CircleProfile
+	// CommunityCount and CelebrityCount partition the circles.
+	CommunityCount, CelebrityCount int
+	// MeanConductance per category, showing that celebrity circles carry
+	// the low-internal-connectivity tails of Fig. 5.
+	CommunityConductance, CelebrityConductance float64
+	// CommunityAvgDeg and CelebrityAvgDeg contrast absolute internal
+	// connectivity.
+	CommunityAvgDeg, CelebrityAvgDeg float64
+	// CommunityDensity and CelebrityDensity contrast internal density —
+	// Fang et al.'s defining feature ("low in-circle density").
+	CommunityDensity, CelebrityDensity float64
+}
+
+// CategorizeCircles classifies each circle following Fang et al., who
+// cluster shared circles into two groups. We run a deterministic 2-means
+// in the standardized (internal density, log mean member in-degree)
+// feature plane, initialized at the sparse/popular and dense/unpopular
+// corners; the cluster with higher mean popularity and lower mean density
+// is labelled celebrity. If the clusters do not show that signature
+// (e.g. no celebrity circles exist), everything is labelled community.
+func CategorizeCircles(ds *synth.Dataset) (*FangResult, error) {
+	if len(ds.Groups) == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrNoGroups, ds.Name)
+	}
+	g := ds.Graph
+	ctx := score.NewContext(g)
+	fns := []score.Func{score.InternalDensity(), score.Conductance(), score.AverageDegree()}
+	scores := score.EvaluateGroups(ctx, ds.Groups, fns)
+
+	profiles := make([]CircleProfile, len(ds.Groups))
+	for i, grp := range ds.Groups {
+		var inSum float64
+		for _, v := range grp.Members {
+			inSum += float64(g.InDegree(v))
+		}
+		profiles[i] = CircleProfile{
+			Name:               grp.Name,
+			Density:            scores["density"][i],
+			Reciprocity:        circleReciprocity(g, grp.Members),
+			MeanMemberInDegree: inSum / float64(len(grp.Members)),
+		}
+	}
+
+	celebrity := clusterCelebrity(profiles)
+
+	res := &FangResult{Profiles: profiles}
+	var commCond, celebCond, commAvg, celebAvg, commDen, celebDen float64
+	for i := range profiles {
+		if celebrity[i] {
+			profiles[i].Category = CelebrityCircle
+			res.CelebrityCount++
+			celebCond += scores["conductance"][i]
+			celebAvg += scores["avgdeg"][i]
+			celebDen += scores["density"][i]
+		} else {
+			profiles[i].Category = CommunityCircle
+			res.CommunityCount++
+			commCond += scores["conductance"][i]
+			commAvg += scores["avgdeg"][i]
+			commDen += scores["density"][i]
+		}
+	}
+	if res.CommunityCount > 0 {
+		res.CommunityConductance = commCond / float64(res.CommunityCount)
+		res.CommunityAvgDeg = commAvg / float64(res.CommunityCount)
+		res.CommunityDensity = commDen / float64(res.CommunityCount)
+	}
+	if res.CelebrityCount > 0 {
+		res.CelebrityConductance = celebCond / float64(res.CelebrityCount)
+		res.CelebrityAvgDeg = celebAvg / float64(res.CelebrityCount)
+		res.CelebrityDensity = celebDen / float64(res.CelebrityCount)
+	}
+	sort.Slice(res.Profiles, func(i, j int) bool { return res.Profiles[i].Name < res.Profiles[j].Name })
+	return res, nil
+}
+
+// clusterCelebrity runs the deterministic 2-means described on
+// CategorizeCircles and returns per-circle celebrity flags.
+func clusterCelebrity(profiles []CircleProfile) []bool {
+	n := len(profiles)
+	flags := make([]bool, n)
+	if n < 2 {
+		return flags
+	}
+	// Standardized features.
+	x := make([]float64, n) // density
+	y := make([]float64, n) // log popularity
+	for i, p := range profiles {
+		x[i] = p.Density
+		y[i] = math.Log(math.Max(p.MeanMemberInDegree, 1))
+	}
+	standardize(x)
+	standardize(y)
+
+	// Centroids: celebrity corner (low density, high popularity) and
+	// community corner (high density, low popularity).
+	celX, celY := -1.0, 1.0
+	comX, comY := 1.0, -1.0
+	assign := make([]bool, n)
+	for iter := 0; iter < 50; iter++ {
+		changed := false
+		for i := 0; i < n; i++ {
+			dCel := (x[i]-celX)*(x[i]-celX) + (y[i]-celY)*(y[i]-celY)
+			dCom := (x[i]-comX)*(x[i]-comX) + (y[i]-comY)*(y[i]-comY)
+			isCel := dCel < dCom
+			if isCel != assign[i] {
+				assign[i] = isCel
+				changed = true
+			}
+		}
+		var cx, cy, cn, mx, my, mn float64
+		for i := 0; i < n; i++ {
+			if assign[i] {
+				cx += x[i]
+				cy += y[i]
+				cn++
+			} else {
+				mx += x[i]
+				my += y[i]
+				mn++
+			}
+		}
+		if cn > 0 {
+			celX, celY = cx/cn, cy/cn
+		}
+		if mn > 0 {
+			comX, comY = mx/mn, my/mn
+		}
+		if !changed {
+			break
+		}
+	}
+	// Validate the celebrity signature: the celebrity cluster must be
+	// both sparser and more popular than the community cluster, and a
+	// proper subset (an all-or-nothing split carries no signal).
+	var cn int
+	for _, a := range assign {
+		if a {
+			cn++
+		}
+	}
+	if cn == 0 || cn == n || celX >= comX || celY <= comY {
+		return flags // all community
+	}
+	copy(flags, assign)
+	return flags
+}
+
+// standardize shifts and scales xs to zero mean and unit variance in
+// place (no-op for constant data).
+func standardize(xs []float64) {
+	var mean float64
+	for _, v := range xs {
+		mean += v
+	}
+	mean /= float64(len(xs))
+	var ss float64
+	for _, v := range xs {
+		ss += (v - mean) * (v - mean)
+	}
+	sd := math.Sqrt(ss / float64(len(xs)))
+	if sd == 0 {
+		return
+	}
+	for i := range xs {
+		xs[i] = (xs[i] - mean) / sd
+	}
+}
+
+// circleReciprocity is the share of a circle's internal arcs whose
+// reverse arc also exists. Undirected graphs score 1; circles with no
+// internal arcs score 0.
+func circleReciprocity(g *graph.Graph, members []graph.VID) float64 {
+	if !g.Directed() {
+		return 1
+	}
+	set := graph.SetOf(g, members)
+	var internal, reciprocal int64
+	for _, u := range members {
+		for _, v := range g.OutNeighbors(u) {
+			if !set.Contains(v) {
+				continue
+			}
+			internal++
+			if g.HasEdge(v, u) {
+				reciprocal++
+			}
+		}
+	}
+	if internal == 0 {
+		return 0
+	}
+	return float64(reciprocal) / float64(internal)
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gpluscircles/internal/synth"
+)
+
+func TestCategorizeCirclesRecoversCelebrities(t *testing.T) {
+	// Generate with a substantial celebrity fraction so both categories
+	// are populated.
+	cfg := synth.DefaultEgoConfig()
+	cfg.NumEgos = 16
+	cfg.MeanEgoSize = 60
+	cfg.PoolSize = 900
+	cfg.CelebrityFraction = 0.25
+	cfg.Seed = 31
+	ds, err := synth.GenerateEgo(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CategorizeCircles(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CommunityCount == 0 || res.CelebrityCount == 0 {
+		t.Fatalf("categories empty: community=%d celebrity=%d",
+			res.CommunityCount, res.CelebrityCount)
+	}
+	if res.CommunityCount+res.CelebrityCount != len(ds.Groups) {
+		t.Errorf("partition lost circles: %d + %d != %d",
+			res.CommunityCount, res.CelebrityCount, len(ds.Groups))
+	}
+	// Fang et al.'s signature: celebrity circles have lower internal
+	// density than community circles.
+	if res.CelebrityDensity >= res.CommunityDensity {
+		t.Errorf("celebrity density %.3f >= community %.3f",
+			res.CelebrityDensity, res.CommunityDensity)
+	}
+	// Every planted "celebrity" circle has low density by construction;
+	// the classifier should put a clear majority of its celebrity labels
+	// on genuinely sparse circles.
+	for _, p := range res.Profiles {
+		if p.Category == CelebrityCircle && p.Density > 0.9 {
+			t.Errorf("dense circle %s (density %.2f) labelled celebrity", p.Name, p.Density)
+		}
+	}
+}
+
+func TestCategorizeCirclesRequiresGroups(t *testing.T) {
+	s := testSuite()
+	gp, err := s.GPlus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := &synth.Dataset{Name: "empty", Graph: gp.Graph}
+	if _, err := CategorizeCircles(empty); !errors.Is(err, ErrNoGroups) {
+		t.Errorf("err = %v, want ErrNoGroups", err)
+	}
+}
+
+func TestDetectCirclesExperiment(t *testing.T) {
+	s := testSuite()
+	gp, err := s.GPlus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DetectCirclesExperiment(gp, s.RNG(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EgosEvaluated == 0 {
+		t.Fatal("no ego networks evaluated")
+	}
+	if res.MeanF1 <= 0 || res.MeanF1 > 1 {
+		t.Errorf("MeanF1 = %v outside (0,1]", res.MeanF1)
+	}
+	// Density-detected groups must be structurally more closed than the
+	// curated circles — the experiment's headline contrast.
+	if res.DetectedConductance >= res.CuratedConductance {
+		t.Errorf("detected conductance %.3f >= curated %.3f",
+			res.DetectedConductance, res.CuratedConductance)
+	}
+}
+
+func TestDetectCirclesExperimentValidation(t *testing.T) {
+	s := testSuite()
+	gp, err := s.GPlus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DetectCirclesExperiment(gp, nil); !errors.Is(err, ErrNoRNG) {
+		t.Errorf("err = %v, want ErrNoRNG", err)
+	}
+	lj, err := s.LiveJournal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DetectCirclesExperiment(lj, rand.New(rand.NewSource(1))); !errors.Is(err, ErrNoEgoData) {
+		t.Errorf("err = %v, want ErrNoEgoData", err)
+	}
+}
+
+func TestNewExperimentsRender(t *testing.T) {
+	s := testSuite()
+	for _, id := range []string{"extension-fang", "extension-detect", "ablation-sampler"} {
+		e, err := ExperimentByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := e.Run(s, &sb); err != nil {
+			t.Errorf("%s: %v", id, err)
+		}
+		if sb.Len() == 0 {
+			t.Errorf("%s produced no output", id)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"gpluscircles/internal/feature"
+	"gpluscircles/internal/report"
+	"gpluscircles/internal/sample"
+	"gpluscircles/internal/stats"
+	"gpluscircles/internal/synth"
+)
+
+// HomophilyResult tests McAuley & Leskovec's premise (paper Section II):
+// "vertices in a circle share a common property or aspect". With facet
+// features planted on the data set, circle members must be measurably
+// more feature-similar than size-matched random sets.
+type HomophilyResult struct {
+	// CircleSimilarity and RandomSimilarity are per-group mean pairwise
+	// Jaccard similarities.
+	CircleSimilarity []float64
+	RandomSimilarity []float64
+	// MeanCircle, MeanRandom summarize them.
+	MeanCircle, MeanRandom float64
+	// Lift is MeanCircle / MeanRandom (guarding division by zero).
+	Lift float64
+}
+
+// MeasureHomophily plants facet features and compares within-circle
+// similarity against random-walk sets of the same sizes.
+func MeasureHomophily(ds *synth.Dataset, cfg feature.PlantConfig, rng *rand.Rand) (*HomophilyResult, error) {
+	if rng == nil {
+		return nil, ErrNoRNG
+	}
+	if len(ds.Groups) == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrNoGroups, ds.Name)
+	}
+	table, err := feature.Plant(ds.Graph, ds.Groups, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("plant features: %w", err)
+	}
+
+	sets, err := sample.MatchSizes(ds.Graph, ds.GroupSizes(), sample.RandomWalkSet, rng)
+	if err != nil {
+		return nil, fmt.Errorf("baseline sets: %w", err)
+	}
+
+	res := &HomophilyResult{}
+	for i, grp := range ds.Groups {
+		cs, err := table.MeanPairwiseSimilarity(grp.Members, 0, rng)
+		if err != nil {
+			return nil, fmt.Errorf("circle similarity: %w", err)
+		}
+		rs, err := table.MeanPairwiseSimilarity(sets[i], 0, rng)
+		if err != nil {
+			return nil, fmt.Errorf("random similarity: %w", err)
+		}
+		res.CircleSimilarity = append(res.CircleSimilarity, cs)
+		res.RandomSimilarity = append(res.RandomSimilarity, rs)
+	}
+	res.MeanCircle = stats.Mean(res.CircleSimilarity)
+	res.MeanRandom = stats.Mean(res.RandomSimilarity)
+	if res.MeanRandom > 0 {
+		res.Lift = res.MeanCircle / res.MeanRandom
+	}
+	return res, nil
+}
+
+func runHomophily(s *Suite, w io.Writer) error {
+	gp, err := s.GPlus()
+	if err != nil {
+		return err
+	}
+	cfg := feature.DefaultPlantConfig()
+	cfg.Seed = s.opts.Seed + 7
+	res, err := MeasureHomophily(gp, cfg, s.RNG(22))
+	if err != nil {
+		return err
+	}
+	tbl := report.NewTable(
+		"Feature homophily: circles vs. size-matched random-walk sets",
+		"Set", "Mean pairwise Jaccard similarity")
+	tbl.AddRow("circles", report.Fmt(res.MeanCircle))
+	tbl.AddRow("random-walk sets", report.Fmt(res.MeanRandom))
+	if err := tbl.Render(w); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w,
+		"\nHomophily lift: %.2fx. Circles collect contacts sharing an aspect\n"+
+			"(facet features), as McAuley & Leskovec assume — while staying open in\n"+
+			"graph-structural terms (Figs. 5/6): shared attributes, not shared edges.\n",
+		res.Lift)
+	if err != nil {
+		return fmt.Errorf("homophily note: %w", err)
+	}
+	return nil
+}

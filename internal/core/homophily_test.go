@@ -1,0 +1,61 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"gpluscircles/internal/feature"
+	"gpluscircles/internal/synth"
+)
+
+func TestMeasureHomophily(t *testing.T) {
+	s := testSuite()
+	gp, err := s.GPlus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MeasureHomophily(gp, feature.DefaultPlantConfig(), s.RNG(70))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CircleSimilarity) != len(gp.Groups) {
+		t.Fatalf("similarity entries %d != groups %d", len(res.CircleSimilarity), len(gp.Groups))
+	}
+	// Planted facets must make circles clearly more similar than random
+	// sets.
+	if res.Lift < 1.5 {
+		t.Errorf("homophily lift %.2f, want >= 1.5 (circle %.4f vs random %.4f)",
+			res.Lift, res.MeanCircle, res.MeanRandom)
+	}
+}
+
+func TestMeasureHomophilyValidation(t *testing.T) {
+	s := testSuite()
+	gp, err := s.GPlus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MeasureHomophily(gp, feature.DefaultPlantConfig(), nil); !errors.Is(err, ErrNoRNG) {
+		t.Errorf("err = %v, want ErrNoRNG", err)
+	}
+	empty := &synth.Dataset{Name: "empty", Graph: gp.Graph}
+	if _, err := MeasureHomophily(empty, feature.DefaultPlantConfig(), s.RNG(1)); !errors.Is(err, ErrNoGroups) {
+		t.Errorf("err = %v, want ErrNoGroups", err)
+	}
+}
+
+func TestHomophilyExperimentRenders(t *testing.T) {
+	s := testSuite()
+	e, err := ExperimentByID("extension-homophily")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := e.Run(s, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "lift") {
+		t.Error("rendered output missing lift")
+	}
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"gpluscircles/internal/stats"
+	"gpluscircles/internal/synth"
+)
+
+func TestCompareLocalCommunities(t *testing.T) {
+	s := testSuite()
+	gp, err := s.GPlus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CompareLocalCommunities(gp, 25, s.RNG(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SampledCircles == 0 {
+		t.Fatal("no circles sampled")
+	}
+	if len(res.CircleConductance) != res.SampledCircles ||
+		len(res.SweepConductance) != res.SampledCircles {
+		t.Fatalf("paired lists misaligned: %d/%d/%d",
+			res.SampledCircles, len(res.CircleConductance), len(res.SweepConductance))
+	}
+	// The headline contrast: sweep sets are more closed than circles.
+	circleMean := stats.Mean(res.CircleConductance)
+	sweepMean := stats.Mean(res.SweepConductance)
+	if sweepMean >= circleMean {
+		t.Errorf("sweep conductance %.3f >= circle conductance %.3f", sweepMean, circleMean)
+	}
+	if res.MeanGap <= 0 {
+		t.Errorf("mean gap %.3f, want positive", res.MeanGap)
+	}
+}
+
+func TestCompareLocalCommunitiesValidation(t *testing.T) {
+	s := testSuite()
+	gp, err := s.GPlus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompareLocalCommunities(gp, 5, nil); !errors.Is(err, ErrNoRNG) {
+		t.Errorf("err = %v, want ErrNoRNG", err)
+	}
+	empty := &synth.Dataset{Name: "empty", Graph: gp.Graph}
+	if _, err := CompareLocalCommunities(empty, 5, s.RNG(1)); !errors.Is(err, ErrNoGroups) {
+		t.Errorf("err = %v, want ErrNoGroups", err)
+	}
+}
+
+func TestLocalCommExperimentRenders(t *testing.T) {
+	s := testSuite()
+	e, err := ExperimentByID("extension-localcomm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := e.Run(s, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "conductance") {
+		t.Error("rendered output incomplete")
+	}
+}

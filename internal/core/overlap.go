@@ -1,0 +1,81 @@
+package core
+
+import (
+	"errors"
+	"sort"
+
+	"gpluscircles/internal/synth"
+)
+
+// ErrNoEgoData is returned when overlap analysis is requested for a data
+// set without ego-network structure.
+var ErrNoEgoData = errors.New("core: data set has no ego-network information")
+
+// OverlapResult captures the Fig. 1/2 statistics of the ego-joined data
+// set.
+type OverlapResult struct {
+	// NumEgoNets is the number of ego networks.
+	NumEgoNets int
+	// OverlappingEgoFraction is the share of ego networks that share at
+	// least one vertex with another ego network (93.5 % in the paper).
+	OverlappingEgoFraction float64
+	// MembershipCounts[k] is the number of vertices that belong to
+	// exactly k ego networks, for k >= 1 (Fig. 2's log plot).
+	MembershipCounts map[int]int
+	// MaxMembership is the largest ego-network membership count of any
+	// vertex.
+	MaxMembership int
+	// MultiEgoVertices is the number of vertices in >= 2 ego networks.
+	MultiEgoVertices int
+}
+
+// AnalyzeOverlap runs the Fig. 1/2 analysis on an ego data set.
+func AnalyzeOverlap(ds *synth.Dataset) (*OverlapResult, error) {
+	if len(ds.EgoNets) == 0 || ds.EgoMembership == nil {
+		return nil, ErrNoEgoData
+	}
+	res := &OverlapResult{
+		NumEgoNets:       len(ds.EgoNets),
+		MembershipCounts: map[int]int{},
+	}
+	for _, count := range ds.EgoMembership {
+		if count < 1 {
+			continue
+		}
+		res.MembershipCounts[count]++
+		if count > res.MaxMembership {
+			res.MaxMembership = count
+		}
+		if count >= 2 {
+			res.MultiEgoVertices++
+		}
+	}
+
+	// An ego network overlaps iff any member belongs to >= 2 ego nets.
+	overlapping := 0
+	for _, ego := range ds.EgoNets {
+		for _, v := range ego.Members {
+			if int(v) < len(ds.EgoMembership) && ds.EgoMembership[v] >= 2 {
+				overlapping++
+				break
+			}
+		}
+	}
+	res.OverlappingEgoFraction = float64(overlapping) / float64(len(ds.EgoNets))
+	return res, nil
+}
+
+// MembershipSeries returns the Fig. 2 series: x = membership count,
+// y = number of vertices with that count, sorted by x.
+func (r *OverlapResult) MembershipSeries() (xs, ys []float64) {
+	counts := make([]int, 0, len(r.MembershipCounts))
+	for k := range r.MembershipCounts {
+		counts = append(counts, k)
+	}
+	sort.Ints(counts)
+	for _, k := range counts {
+		xs = append(xs, float64(k))
+		ys = append(ys, float64(r.MembershipCounts[k]))
+	}
+	return xs, ys
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"gpluscircles/internal/report"
+)
+
+// RobustnessResult reports how the scorecard fares across independent
+// seeds: a reproduction that only holds for one lucky seed is no
+// reproduction at all.
+type RobustnessResult struct {
+	// Seeds lists the evaluated generator seeds.
+	Seeds []int64
+	// HeldPerSeed counts the claims that held for each seed.
+	HeldPerSeed []int
+	// TotalClaims is the scorecard size.
+	TotalClaims int
+	// FailuresByClaim counts, per claim ID, how many seeds failed it.
+	FailuresByClaim map[string]int
+}
+
+// MeasureRobustness reruns the scorecard for `seeds` consecutive seeds at
+// the suite's scale (fresh suites; the receiver's cached data sets are
+// not reused so each seed is independent).
+func MeasureRobustness(opts SuiteOptions, seeds int) (*RobustnessResult, error) {
+	if seeds < 1 {
+		seeds = 3
+	}
+	res := &RobustnessResult{FailuresByClaim: map[string]int{}}
+	base := opts.withDefaults()
+	for i := 0; i < seeds; i++ {
+		seedOpts := base
+		seedOpts.Seed = base.Seed + int64(i)
+		s := NewSuite(seedOpts)
+		claims, err := Scorecard(s)
+		if err != nil {
+			return nil, fmt.Errorf("seed %d: %w", seedOpts.Seed, err)
+		}
+		held := 0
+		for _, c := range claims {
+			if c.Holds {
+				held++
+			} else {
+				res.FailuresByClaim[c.ID]++
+			}
+		}
+		res.Seeds = append(res.Seeds, seedOpts.Seed)
+		res.HeldPerSeed = append(res.HeldPerSeed, held)
+		res.TotalClaims = len(claims)
+	}
+	return res, nil
+}
+
+func runRobustness(s *Suite, w io.Writer) error {
+	// Independent reruns at a reduced scale keep this experiment fast
+	// while still exercising the full pipeline per seed.
+	opts := s.Options()
+	opts.Scale = opts.Scale * 0.4
+	res, err := MeasureRobustness(opts, 3)
+	if err != nil {
+		return err
+	}
+	tbl := report.NewTable(
+		fmt.Sprintf("Scorecard robustness over %d seeds (scale %.2f)", len(res.Seeds), opts.Scale),
+		"Seed", "Claims held")
+	for i, seed := range res.Seeds {
+		tbl.AddRow(fmt.Sprintf("%d", seed),
+			fmt.Sprintf("%d / %d", res.HeldPerSeed[i], res.TotalClaims))
+	}
+	if err := tbl.Render(w); err != nil {
+		return err
+	}
+	if len(res.FailuresByClaim) == 0 {
+		_, err := fmt.Fprintln(w, "\nEvery claim held for every seed.")
+		if err != nil {
+			return fmt.Errorf("robustness note: %w", err)
+		}
+		return nil
+	}
+	if _, err := fmt.Fprintln(w, "\nClaims that failed on some seed:"); err != nil {
+		return fmt.Errorf("robustness note: %w", err)
+	}
+	for id, count := range res.FailuresByClaim {
+		if _, err := fmt.Fprintf(w, "  %s: %d seed(s)\n", id, count); err != nil {
+			return fmt.Errorf("robustness note: %w", err)
+		}
+	}
+	return nil
+}

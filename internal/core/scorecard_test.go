@@ -1,0 +1,40 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestScorecardAllClaimsHold is the single strongest integration test:
+// every machine-checked claim of the paper must hold on the test suite.
+func TestScorecardAllClaimsHold(t *testing.T) {
+	s := testSuite()
+	claims, err := Scorecard(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(claims) < 8 {
+		t.Fatalf("only %d claims checked", len(claims))
+	}
+	for _, c := range claims {
+		if !c.Holds {
+			t.Errorf("claim %s failed: %s (measured: %s)", c.ID, c.Statement, c.Measured)
+		}
+	}
+}
+
+func TestScorecardRenders(t *testing.T) {
+	s := testSuite()
+	e, err := ExperimentByID("scorecard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := e.Run(s, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "fig6-ratiocut") || !strings.Contains(out, "claims hold") {
+		t.Errorf("scorecard output incomplete:\n%s", out)
+	}
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gpluscircles/internal/synth"
+)
+
+// SuiteOptions configures the full reproduction run.
+type SuiteOptions struct {
+	// Scale multiplies the default data-set sizes; 1.0 is the
+	// laptop-scale default (~1/25 of the paper), 0.1 a quick smoke run.
+	Scale float64
+	// Seed drives every generator and sampler deterministically.
+	Seed int64
+	// NullModelSamples > 0 enables the empirical Viger–Latapy modularity
+	// null model where an experiment supports it.
+	NullModelSamples int
+	// DistanceSources bounds BFS sampling in graph characterization.
+	DistanceSources int
+	// ClusteringSamples bounds clustering-coefficient sampling.
+	ClusteringSamples int
+}
+
+func (o SuiteOptions) withDefaults() SuiteOptions {
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.DistanceSources <= 0 {
+		o.DistanceSources = 48
+	}
+	if o.ClusteringSamples <= 0 {
+		o.ClusteringSamples = 1500
+	}
+	return o
+}
+
+// Suite generates and caches the synthetic data sets shared by the
+// experiments. Not safe for concurrent use.
+type Suite struct {
+	opts SuiteOptions
+
+	gplus   *synth.Dataset
+	twitter *synth.Dataset
+	lj      *synth.Dataset
+	orkut   *synth.Dataset
+	crawl   *synth.Dataset
+}
+
+// NewSuite creates a Suite; data sets are generated lazily.
+func NewSuite(opts SuiteOptions) *Suite {
+	return &Suite{opts: opts.withDefaults()}
+}
+
+// Options returns the effective (defaulted) options.
+func (s *Suite) Options() SuiteOptions { return s.opts }
+
+// RNG returns a fresh deterministic RNG derived from the suite seed and
+// the given stream label, so experiments don't perturb each other.
+func (s *Suite) RNG(stream int64) *rand.Rand {
+	return rand.New(rand.NewSource(s.opts.Seed*1000003 + stream))
+}
+
+// scaleInt scales a default size, clamping at a floor.
+func (s *Suite) scaleInt(v int, floor int) int {
+	scaled := int(float64(v) * s.opts.Scale)
+	if scaled < floor {
+		scaled = floor
+	}
+	return scaled
+}
+
+// GPlus returns the Google+-like ego data set.
+func (s *Suite) GPlus() (*synth.Dataset, error) {
+	if s.gplus != nil {
+		return s.gplus, nil
+	}
+	cfg := synth.DefaultEgoConfig()
+	cfg.NumEgos = s.scaleInt(cfg.NumEgos, 6)
+	cfg.PoolSize = s.scaleInt(cfg.PoolSize, 200)
+	cfg.MeanEgoSize = s.scaleInt(cfg.MeanEgoSize, 30)
+	cfg.Seed = s.opts.Seed
+	ds, err := synth.GenerateEgo(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("generate Google+ data set: %w", err)
+	}
+	s.gplus = ds
+	return ds, nil
+}
+
+// Twitter returns the Twitter-like follower data set.
+func (s *Suite) Twitter() (*synth.Dataset, error) {
+	if s.twitter != nil {
+		return s.twitter, nil
+	}
+	cfg := synth.DefaultFollowerConfig()
+	cfg.NumVertices = s.scaleInt(cfg.NumVertices, 400)
+	cfg.NumLists = s.scaleInt(cfg.NumLists, 20)
+	cfg.Seed = s.opts.Seed + 1
+	ds, err := synth.GenerateFollower(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("generate Twitter data set: %w", err)
+	}
+	s.twitter = ds
+	return ds, nil
+}
+
+// LiveJournal returns the LiveJournal-like community data set.
+func (s *Suite) LiveJournal() (*synth.Dataset, error) {
+	if s.lj != nil {
+		return s.lj, nil
+	}
+	cfg := synth.DefaultLiveJournalConfig()
+	cfg.NumVertices = s.scaleInt(cfg.NumVertices, 1500)
+	cfg.NumCommunities = s.scaleInt(cfg.NumCommunities, 60)
+	if cfg.MaxCommunitySize > cfg.NumVertices/4 {
+		cfg.MaxCommunitySize = cfg.NumVertices / 4
+	}
+	cfg.Seed = s.opts.Seed + 2
+	ds, err := synth.GenerateAGM("LiveJournal", cfg)
+	if err != nil {
+		return nil, fmt.Errorf("generate LiveJournal data set: %w", err)
+	}
+	s.lj = ds
+	return ds, nil
+}
+
+// Orkut returns the Orkut-like community data set.
+func (s *Suite) Orkut() (*synth.Dataset, error) {
+	if s.orkut != nil {
+		return s.orkut, nil
+	}
+	cfg := synth.DefaultOrkutConfig()
+	cfg.NumVertices = s.scaleInt(cfg.NumVertices, 1500)
+	cfg.NumCommunities = s.scaleInt(cfg.NumCommunities, 60)
+	if cfg.MaxCommunitySize > cfg.NumVertices/4 {
+		cfg.MaxCommunitySize = cfg.NumVertices / 4
+	}
+	cfg.Seed = s.opts.Seed + 3
+	ds, err := synth.GenerateAGM("Orkut", cfg)
+	if err != nil {
+		return nil, fmt.Errorf("generate Orkut data set: %w", err)
+	}
+	s.orkut = ds
+	return ds, nil
+}
+
+// Crawl returns the Magno-like BFS-crawl data set used by Table II.
+func (s *Suite) Crawl() (*synth.Dataset, error) {
+	if s.crawl != nil {
+		return s.crawl, nil
+	}
+	cfg := synth.DefaultCrawlConfig()
+	cfg.NumVertices = s.scaleInt(cfg.NumVertices, 2000)
+	cfg.Seed = s.opts.Seed + 4
+	ds, err := synth.GenerateCrawl(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("generate crawl data set: %w", err)
+	}
+	s.crawl = ds
+	return ds, nil
+}
+
+// AllGroupDatasets returns the four Table III data sets in paper order.
+func (s *Suite) AllGroupDatasets() ([]*synth.Dataset, error) {
+	gp, err := s.GPlus()
+	if err != nil {
+		return nil, err
+	}
+	tw, err := s.Twitter()
+	if err != nil {
+		return nil, err
+	}
+	lj, err := s.LiveJournal()
+	if err != nil {
+		return nil, err
+	}
+	ok, err := s.Orkut()
+	if err != nil {
+		return nil, err
+	}
+	return []*synth.Dataset{gp, tw, lj, ok}, nil
+}
+
+// profileOptions derives ProfileOptions from the suite options.
+func (s *Suite) profileOptions() ProfileOptions {
+	return ProfileOptions{
+		DistanceSources:   s.opts.DistanceSources,
+		ClusteringSamples: s.opts.ClusteringSamples,
+	}
+}

@@ -1,0 +1,38 @@
+package dataset
+
+import (
+	"testing"
+
+	"gpluscircles/internal/graph"
+)
+
+func TestBinaryGraphFileRoundTrip(t *testing.T) {
+	g, err := graph.FromEdges(true, [][2]int64{{1, 2}, {2, 3}, {3, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/g.bin"
+	if err := WriteBinaryGraphFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinaryGraphFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumVertices() != 3 || back.NumEdges() != 3 {
+		t.Errorf("round trip shape (%d,%d)", back.NumVertices(), back.NumEdges())
+	}
+}
+
+func TestBinaryGraphFileErrors(t *testing.T) {
+	g, err := graph.FromEdges(true, [][2]int64{{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinaryGraphFile("/nonexistent/g.bin", g); err == nil {
+		t.Error("unwritable path accepted")
+	}
+	if _, err := ReadBinaryGraphFile("/nonexistent/g.bin"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

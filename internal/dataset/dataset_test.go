@@ -1,0 +1,196 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gpluscircles/internal/graph"
+	"gpluscircles/internal/score"
+)
+
+func TestReadEdgeListBasic(t *testing.T) {
+	in := "# comment\n1 2\n2\t3\n% another comment\n\n3 1\n"
+	g, err := ReadEdgeList(strings.NewReader(in), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Errorf("n=%d m=%d, want 3/3", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestReadEdgeListBadLine(t *testing.T) {
+	if _, err := ReadEdgeList(strings.NewReader("1\n"), true); err == nil {
+		t.Error("single-field line accepted")
+	}
+	if _, err := ReadEdgeList(strings.NewReader("a b\n"), true); err == nil {
+		t.Error("non-numeric line accepted")
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g, err := graph.FromEdges(true, [][2]int64{{10, 20}, {20, 30}, {30, 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g, "test"); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(&buf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumVertices() != g.NumVertices() || back.NumEdges() != g.NumEdges() {
+		t.Errorf("round trip changed counts: (%d,%d) vs (%d,%d)",
+			back.NumVertices(), back.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestEdgeListFileRoundTripGzip(t *testing.T) {
+	g, err := graph.FromEdges(false, [][2]int64{{1, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "graph.txt.gz")
+	if err := WriteEdgeListFile(path, g, "gz-test"); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeListFile(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumEdges() != 2 {
+		t.Errorf("gzip round trip edges = %d, want 2", back.NumEdges())
+	}
+}
+
+func TestReadEdgeListFileMissing(t *testing.T) {
+	if _, err := ReadEdgeListFile("/nonexistent/never.txt", true); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestCommunitiesRoundTrip(t *testing.T) {
+	g, err := graph.FromEdges(false, [][2]int64{{1, 2}, {2, 3}, {3, 4}, {4, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(exts ...int64) []graph.VID {
+		var out []graph.VID
+		for _, e := range exts {
+			v, _ := g.Lookup(e)
+			out = append(out, v)
+		}
+		return out
+	}
+	groups := []score.Group{
+		{Name: "a", Members: mk(1, 2, 3)},
+		{Name: "b", Members: mk(3, 4, 5)},
+	}
+	var buf bytes.Buffer
+	if err := WriteCommunities(&buf, g, groups); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCommunities(&buf, g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("round trip groups = %d, want 2", len(back))
+	}
+	for i := range back {
+		if len(back[i].Members) != len(groups[i].Members) {
+			t.Errorf("group %d size %d, want %d", i, len(back[i].Members), len(groups[i].Members))
+		}
+	}
+}
+
+func TestReadCommunitiesSkipsUnknownAndSmall(t *testing.T) {
+	g, err := graph.FromEdges(false, [][2]int64{{1, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 99 is unknown; second line drops below minSize after filtering.
+	in := "1 2 99\n99 3\n"
+	groups, err := ReadCommunities(strings.NewReader(in), g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 1 || len(groups[0].Members) != 2 {
+		t.Errorf("groups = %+v, want one group of 2", groups)
+	}
+}
+
+func TestReadCommunitiesBadToken(t *testing.T) {
+	g, _ := graph.FromEdges(false, [][2]int64{{1, 2}})
+	if _, err := ReadCommunities(strings.NewReader("1 x\n"), g, 1); err == nil {
+		t.Error("non-numeric member accepted")
+	}
+}
+
+func TestReadEgoCircles(t *testing.T) {
+	g, err := graph.FromEdges(true, [][2]int64{{1, 2}, {2, 3}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := "circle0\t1\t2\t3\ncircle1\t3\t4\ncircle2\t99\n# c\n"
+	groups, err := ReadEgoCircles(strings.NewReader(in), g, "ego7", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want 2 (circle2 too small)", len(groups))
+	}
+	if groups[0].Name != "ego7/circle0" {
+		t.Errorf("name = %q, want ego7/circle0", groups[0].Name)
+	}
+	if len(groups[0].Members) != 3 {
+		t.Errorf("circle0 size = %d, want 3", len(groups[0].Members))
+	}
+}
+
+// Property: edge-list round trips preserve vertex/edge counts and edges.
+func TestQuickEdgeListRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		directed := seed%2 == 0
+		edges := make([][2]int64, 30)
+		for i := range edges {
+			edges[i] = [2]int64{rng.Int63n(15), rng.Int63n(15)}
+		}
+		g, err := graph.FromEdges(directed, edges)
+		if err != nil {
+			return true
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g, "quick"); err != nil {
+			return false
+		}
+		back, err := ReadEdgeList(&buf, directed)
+		if err != nil {
+			return false
+		}
+		if back.NumEdges() != g.NumEdges() {
+			return false
+		}
+		ok := true
+		g.Edges(func(e graph.Edge) bool {
+			bu, ok1 := back.Lookup(g.ExternalID(e.From))
+			bv, ok2 := back.Lookup(g.ExternalID(e.To))
+			if !ok1 || !ok2 || !back.HasEdge(bu, bv) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,149 @@
+// Package dataset reads and writes the on-disk formats of the paper's
+// data sets so the pipeline runs unchanged on the original crawls when
+// available: SNAP edge lists (one "src dst" pair per line, '#' comments),
+// the McAuley–Leskovec ego-network format (.edges / .circles files), and
+// SNAP community files (one whitespace-separated community per line,
+// e.g. com-lj.all.cmty.txt). Gzip-compressed files are detected by the
+// .gz suffix.
+package dataset
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"gpluscircles/internal/graph"
+)
+
+// openMaybeGzip opens a file, transparently decompressing .gz files. The
+// returned closer closes both layers.
+func openMaybeGzip(path string) (io.Reader, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("open %s: %w", path, err)
+	}
+	if !strings.HasSuffix(path, ".gz") {
+		return f, f.Close, nil
+	}
+	gz, err := gzip.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("gzip %s: %w", path, err)
+	}
+	closer := func() error {
+		gzErr := gz.Close()
+		if fErr := f.Close(); fErr != nil {
+			return fErr
+		}
+		return gzErr
+	}
+	return gz, closer, nil
+}
+
+// ReadEdgeList parses a SNAP-style edge list into a graph. Lines starting
+// with '#' or '%' are comments; fields are whitespace-separated vertex
+// IDs.
+func ReadEdgeList(r io.Reader, directed bool) (*graph.Graph, error) {
+	b := graph.NewBuilder(directed)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("edge list line %d: want 2 fields, got %d", lineNo, len(fields))
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("edge list line %d: %w", lineNo, err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("edge list line %d: %w", lineNo, err)
+		}
+		b.AddEdge(u, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("edge list scan: %w", err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("edge list build: %w", err)
+	}
+	return g, nil
+}
+
+// ReadEdgeListFile reads an edge list from a (possibly gzipped) file.
+func ReadEdgeListFile(path string, directed bool) (*graph.Graph, error) {
+	r, closer, err := openMaybeGzip(path)
+	if err != nil {
+		return nil, err
+	}
+	defer closer()
+	g, err := ReadEdgeList(r, directed)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return g, nil
+}
+
+// WriteEdgeList writes the graph as a SNAP edge list with a descriptive
+// header comment. Directed graphs emit each arc; undirected graphs emit
+// each edge once.
+func WriteEdgeList(w io.Writer, g *graph.Graph, name string) error {
+	bw := bufio.NewWriter(w)
+	kind := "undirected"
+	if g.Directed() {
+		kind = "directed"
+	}
+	if _, err := fmt.Fprintf(bw, "# %s: %s graph, %d vertices, %d edges\n",
+		name, kind, g.NumVertices(), g.NumEdges()); err != nil {
+		return fmt.Errorf("edge list header: %w", err)
+	}
+	var writeErr error
+	g.Edges(func(e graph.Edge) bool {
+		_, writeErr = fmt.Fprintf(bw, "%d\t%d\n", g.ExternalID(e.From), g.ExternalID(e.To))
+		return writeErr == nil
+	})
+	if writeErr != nil {
+		return fmt.Errorf("edge list body: %w", writeErr)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("edge list flush: %w", err)
+	}
+	return nil
+}
+
+// WriteEdgeListFile writes the edge list to a file, gzipping when the
+// path ends in .gz.
+func WriteEdgeListFile(path string, g *graph.Graph, name string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("close %s: %w", path, cerr)
+		}
+	}()
+	var w io.Writer = f
+	if strings.HasSuffix(path, ".gz") {
+		gz := gzip.NewWriter(f)
+		defer func() {
+			if cerr := gz.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("gzip close %s: %w", path, cerr)
+			}
+		}()
+		w = gz
+	}
+	return WriteEdgeList(w, g, name)
+}

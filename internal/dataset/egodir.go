@@ -1,0 +1,305 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"gpluscircles/internal/graph"
+	"gpluscircles/internal/score"
+	"gpluscircles/internal/synth"
+)
+
+// EgoDir holds the raw contents of a McAuley–Leskovec-style ego-network
+// directory: per ego, a "<owner>.edges" file with the edges among the
+// owner's alters and a "<owner>.circles" file with the owner's circles.
+// LoadEgoDir assembles the joint graph exactly as the paper does
+// (Section IV-A): ego networks are unioned, the owner is connected to
+// every alter, and circles become groups over the joint graph.
+type EgoDir struct {
+	// Owners lists the ego owners found, ascending.
+	Owners []int64
+	// Dataset is the assembled joint graph with circles as groups and
+	// per-vertex ego-membership counts.
+	Dataset *synth.Dataset
+}
+
+// LoadEgoDir reads every "<id>.edges" (+ optional "<id>.circles") pair in
+// the directory and assembles the joint data set. The `directed` flag
+// selects the edge semantics (true for Google+/Twitter, false for the
+// Facebook variant of the format). minCircle drops circles with fewer
+// resolved members.
+func LoadEgoDir(dir string, directed bool, minCircle int) (*EgoDir, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("read ego dir: %w", err)
+	}
+	var owners []int64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".edges") {
+			continue
+		}
+		id, err := strconv.ParseInt(strings.TrimSuffix(name, ".edges"), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("ego file %s: owner id: %w", name, err)
+		}
+		owners = append(owners, id)
+	}
+	if len(owners) == 0 {
+		return nil, fmt.Errorf("no .edges files in %s", dir)
+	}
+	sort.Slice(owners, func(i, j int) bool { return owners[i] < owners[j] })
+
+	b := graph.NewBuilder(directed)
+	egoMembers := make(map[int64][]int64, len(owners)) // owner -> alters
+	membership := map[int64]int{}
+
+	for _, owner := range owners {
+		alters, err := loadEgoEdges(filepath.Join(dir, fmt.Sprintf("%d.edges", owner)), b)
+		if err != nil {
+			return nil, err
+		}
+		for alter := range alters {
+			// The owner has every alter in a circle: owner -> alter.
+			b.AddEdge(owner, alter)
+			membership[alter]++
+		}
+		sorted := make([]int64, 0, len(alters))
+		for alter := range alters {
+			sorted = append(sorted, alter)
+		}
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		egoMembers[owner] = sorted
+	}
+
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("assemble ego graph: %w", err)
+	}
+
+	// Circles, prefixed by owner so names are unique across ego nets.
+	var groups []score.Group
+	for _, owner := range owners {
+		path := filepath.Join(dir, fmt.Sprintf("%d.circles", owner))
+		f, err := os.Open(path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue // circles are optional per ego
+			}
+			return nil, fmt.Errorf("open %s: %w", path, err)
+		}
+		circles, err := ReadEgoCircles(f, g, fmt.Sprintf("ego%d", owner), minCircle)
+		closeErr := f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if closeErr != nil {
+			return nil, fmt.Errorf("close %s: %w", path, closeErr)
+		}
+		groups = append(groups, circles...)
+	}
+
+	memberCounts := make([]int, g.NumVertices())
+	for ext, count := range membership {
+		if v, ok := g.Lookup(ext); ok {
+			memberCounts[v] = count
+		}
+	}
+	ownerVIDs := make([]graph.VID, 0, len(owners))
+	egoNets := make([]score.Group, 0, len(owners))
+	for _, owner := range owners {
+		ov, ok := g.Lookup(owner)
+		if !ok {
+			continue
+		}
+		ownerVIDs = append(ownerVIDs, ov)
+		members := []graph.VID{ov}
+		for _, alter := range egoMembers[owner] {
+			if v, ok := g.Lookup(alter); ok {
+				members = append(members, v)
+			}
+		}
+		egoNets = append(egoNets, score.Group{
+			Name:    fmt.Sprintf("ego%d", owner),
+			Members: members,
+		})
+	}
+
+	return &EgoDir{
+		Owners: owners,
+		Dataset: &synth.Dataset{
+			Name:          dir,
+			Graph:         g,
+			Groups:        groups,
+			Kind:          synth.Circles,
+			EgoMembership: memberCounts,
+			Owners:        ownerVIDs,
+			EgoNets:       egoNets,
+		},
+	}, nil
+}
+
+// loadEgoEdges feeds one ego's edge file into the builder and returns
+// the set of alters seen.
+func loadEgoEdges(path string, b *graph.Builder) (map[int64]struct{}, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("open %s: %w", path, err)
+	}
+	defer f.Close()
+	alters := map[int64]struct{}{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("%s line %d: want 2 fields", path, lineNo)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s line %d: %w", path, lineNo, err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s line %d: %w", path, lineNo, err)
+		}
+		b.AddEdge(u, v)
+		alters[u] = struct{}{}
+		alters[v] = struct{}{}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("scan %s: %w", path, err)
+	}
+	return alters, nil
+}
+
+// WriteEgoDir exports an ego data set (e.g. a synthetic one) in the
+// McAuley–Leskovec directory format, enabling round trips and
+// interoperability with the original tooling. Only edges among an ego's
+// alters go into "<owner>.edges", mirroring the source format.
+func WriteEgoDir(dir string, ds *synth.Dataset) error {
+	if len(ds.EgoNets) == 0 {
+		return fmt.Errorf("write ego dir: data set %s has no ego networks", ds.Name)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("create %s: %w", dir, err)
+	}
+	g := ds.Graph
+	ownerOf := map[string]graph.VID{}
+	for _, ego := range ds.EgoNets {
+		if len(ego.Members) == 0 {
+			continue
+		}
+		ownerOf[ego.Name] = ego.Members[0] // convention: owner first
+	}
+	for _, ego := range ds.EgoNets {
+		if len(ego.Members) == 0 {
+			continue
+		}
+		owner := ego.Members[0]
+		ownerExt := g.ExternalID(owner)
+		alters := ego.Members[1:]
+		set := graph.SetOf(g, alters)
+
+		if err := writeEgoEdges(filepath.Join(dir, fmt.Sprintf("%d.edges", ownerExt)), g, alters, set); err != nil {
+			return err
+		}
+	}
+	// Circles: group by owning ego via the "egoNNN/" name prefix.
+	circlesByEgo := map[string][]score.Group{}
+	for _, grp := range ds.Groups {
+		slash := strings.IndexByte(grp.Name, '/')
+		if slash < 0 {
+			continue
+		}
+		ego := grp.Name[:slash]
+		circlesByEgo[ego] = append(circlesByEgo[ego], grp)
+	}
+	for ego, circles := range circlesByEgo {
+		owner, ok := ownerOf[ego]
+		if !ok {
+			continue
+		}
+		path := filepath.Join(dir, fmt.Sprintf("%d.circles", g.ExternalID(owner)))
+		if err := writeEgoCircles(path, g, circles); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeEgoEdges(path string, g *graph.Graph, alters []graph.VID, set *graph.Set) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("close %s: %w", path, cerr)
+		}
+	}()
+	w := bufio.NewWriter(f)
+	for _, u := range alters {
+		for _, v := range g.OutNeighbors(u) {
+			if !set.Contains(v) {
+				continue
+			}
+			if !g.Directed() && v < u {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%d %d\n", g.ExternalID(u), g.ExternalID(v)); err != nil {
+				return fmt.Errorf("write %s: %w", path, err)
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("flush %s: %w", path, err)
+	}
+	return nil
+}
+
+func writeEgoCircles(path string, g *graph.Graph, circles []score.Group) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("close %s: %w", path, cerr)
+		}
+	}()
+	w := bufio.NewWriter(f)
+	for _, c := range circles {
+		name := c.Name
+		if slash := strings.IndexByte(name, '/'); slash >= 0 {
+			name = name[slash+1:]
+		}
+		if _, err := fmt.Fprintf(w, "%s", name); err != nil {
+			return fmt.Errorf("write %s: %w", path, err)
+		}
+		for _, v := range c.Members {
+			if _, err := fmt.Fprintf(w, "\t%d", g.ExternalID(v)); err != nil {
+				return fmt.Errorf("write %s: %w", path, err)
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return fmt.Errorf("write %s: %w", path, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("flush %s: %w", path, err)
+	}
+	return nil
+}

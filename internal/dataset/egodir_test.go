@@ -1,0 +1,143 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gpluscircles/internal/graph"
+	"gpluscircles/internal/synth"
+)
+
+// writeFile is a test helper creating a file with contents.
+func writeFile(t *testing.T, path, contents string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(contents), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadEgoDirHandCrafted(t *testing.T) {
+	dir := t.TempDir()
+	// Ego 100: alters 1,2,3 with edges 1-2, 2-3; circle c0 = {1,2}.
+	writeFile(t, filepath.Join(dir, "100.edges"), "1 2\n2 3\n")
+	writeFile(t, filepath.Join(dir, "100.circles"), "c0\t1\t2\n")
+	// Ego 200: alters 3,4 (overlap on 3), no circles file.
+	writeFile(t, filepath.Join(dir, "200.edges"), "3 4\n")
+
+	ed, err := LoadEgoDir(dir, true, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := ed.Dataset
+	if len(ed.Owners) != 2 || ed.Owners[0] != 100 || ed.Owners[1] != 200 {
+		t.Errorf("owners = %v", ed.Owners)
+	}
+	// Vertices: 1,2,3,4,100,200.
+	if ds.Graph.NumVertices() != 6 {
+		t.Errorf("n = %d, want 6", ds.Graph.NumVertices())
+	}
+	// Circles: one.
+	if len(ds.Groups) != 1 || ds.Groups[0].Name != "ego100/c0" {
+		t.Fatalf("groups = %+v", ds.Groups)
+	}
+	if len(ds.Groups[0].Members) != 2 {
+		t.Errorf("circle members = %d, want 2", len(ds.Groups[0].Members))
+	}
+	// Owner edges exist: 100 -> 1.
+	o, _ := ds.Graph.Lookup(100)
+	a, _ := ds.Graph.Lookup(1)
+	if !ds.Graph.HasEdge(o, a) {
+		t.Error("owner->alter edge missing")
+	}
+	// Vertex 3 is in both ego networks.
+	v3, _ := ds.Graph.Lookup(3)
+	if ds.EgoMembership[v3] != 2 {
+		t.Errorf("membership(3) = %d, want 2", ds.EgoMembership[v3])
+	}
+	if len(ds.EgoNets) != 2 {
+		t.Errorf("ego nets = %d, want 2", len(ds.EgoNets))
+	}
+}
+
+func TestLoadEgoDirErrors(t *testing.T) {
+	if _, err := LoadEgoDir("/nonexistent/nowhere", true, 1); err == nil {
+		t.Error("missing dir accepted")
+	}
+	empty := t.TempDir()
+	if _, err := LoadEgoDir(empty, true, 1); err == nil {
+		t.Error("empty dir accepted")
+	}
+	bad := t.TempDir()
+	writeFile(t, filepath.Join(bad, "abc.edges"), "1 2\n")
+	if _, err := LoadEgoDir(bad, true, 1); err == nil {
+		t.Error("non-numeric owner accepted")
+	}
+	badLine := t.TempDir()
+	writeFile(t, filepath.Join(badLine, "5.edges"), "justone\n")
+	if _, err := LoadEgoDir(badLine, true, 1); err == nil {
+		t.Error("malformed edge line accepted")
+	}
+}
+
+func TestEgoDirRoundTripSynthetic(t *testing.T) {
+	cfg := synth.DefaultEgoConfig()
+	cfg.NumEgos = 6
+	cfg.MeanEgoSize = 25
+	cfg.PoolSize = 150
+	cfg.Seed = 99
+	ds, err := synth.GenerateEgo(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := WriteEgoDir(dir, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadEgoDir(dir, true, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := back.Dataset
+
+	if len(back.Owners) != 6 {
+		t.Errorf("owners = %d, want 6", len(back.Owners))
+	}
+	// The joint vertex set is preserved (owners + alters).
+	if rt.Graph.NumVertices() != ds.Graph.NumVertices() {
+		t.Errorf("vertices %d -> %d", ds.Graph.NumVertices(), rt.Graph.NumVertices())
+	}
+	// Circles survive with their sizes (members within ego nets).
+	if len(rt.Groups) != len(ds.Groups) {
+		t.Errorf("groups %d -> %d", len(ds.Groups), len(rt.Groups))
+	}
+	// Every round-tripped edge exists in the original: the format keeps
+	// intra-ego edges plus owner->alter edges, losing only cross-ego
+	// arcs and member->owner reciprocations.
+	missing := 0
+	rt.Graph.Edges(func(e graph.Edge) bool {
+		ou, ok1 := ds.Graph.Lookup(rt.Graph.ExternalID(e.From))
+		ov, ok2 := ds.Graph.Lookup(rt.Graph.ExternalID(e.To))
+		if !ok1 || !ok2 || !ds.Graph.HasEdge(ou, ov) {
+			missing++
+		}
+		return true
+	})
+	if missing > 0 {
+		t.Errorf("%d round-tripped edges not in the original", missing)
+	}
+	if rt.Graph.NumEdges() > ds.Graph.NumEdges() {
+		t.Errorf("round trip grew edges: %d -> %d", ds.Graph.NumEdges(), rt.Graph.NumEdges())
+	}
+}
+
+func TestWriteEgoDirRequiresEgoNets(t *testing.T) {
+	g, err := graph.FromEdges(true, [][2]int64{{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := &synth.Dataset{Name: "bare", Graph: g}
+	if err := WriteEgoDir(t.TempDir(), ds); err == nil {
+		t.Error("data set without ego nets accepted")
+	}
+}

@@ -1,0 +1,73 @@
+package dataset
+
+import (
+	"errors"
+	"testing"
+
+	"gpluscircles/internal/graph"
+	"gpluscircles/internal/score"
+)
+
+// shortWriter fails after N bytes.
+type shortWriter struct {
+	remaining int
+}
+
+var errShortWriter = errors.New("writer full")
+
+func (w *shortWriter) Write(p []byte) (int, error) {
+	if len(p) > w.remaining {
+		n := w.remaining
+		w.remaining = 0
+		return n, errShortWriter
+	}
+	w.remaining -= len(p)
+	return len(p), nil
+}
+
+func TestWriteEdgeListWriteError(t *testing.T) {
+	g, err := graph.FromEdges(true, [][2]int64{{1, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budgets below the header and below the body both surface errors
+	// (bufio defers them to Flush at the latest).
+	for _, budget := range []int{0, 10} {
+		if err := WriteEdgeList(&shortWriter{remaining: budget}, g, "x"); err == nil {
+			t.Errorf("budget %d: short writer accepted", budget)
+		}
+	}
+}
+
+func TestWriteCommunitiesWriteError(t *testing.T) {
+	g, err := graph.FromEdges(false, [][2]int64{{1, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, _ := g.Lookup(1)
+	v2, _ := g.Lookup(2)
+	groups := []score.Group{{Name: "c", Members: []graph.VID{v1, v2}}}
+	if err := WriteCommunities(&shortWriter{remaining: 2}, g, groups); err == nil {
+		t.Error("short writer accepted")
+	}
+}
+
+func TestWriteEdgeListFileBadPath(t *testing.T) {
+	g, err := graph.FromEdges(true, [][2]int64{{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteEdgeListFile("/nonexistent/dir/file.txt", g, "x"); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}
+
+func TestWriteCommunitiesFileBadPath(t *testing.T) {
+	g, err := graph.FromEdges(false, [][2]int64{{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCommunitiesFile("/nonexistent/dir/file.txt", g, nil); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}

@@ -1,0 +1,86 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+
+	"gpluscircles/internal/graph"
+)
+
+// FuzzReadEdgeList checks the edge-list parser never panics and that any
+// successfully parsed graph satisfies its structural invariants. Run the
+// corpus with `go test`; explore with `go test -fuzz=FuzzReadEdgeList`.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("1 2\n2 3\n", true)
+	f.Add("# comment\n\n1\t2\n", false)
+	f.Add("a b\n", true)
+	f.Add("1 2 3 4\n", true)
+	f.Add("9223372036854775807 -9223372036854775808\n", true)
+	f.Add("1 1\n1 1\n", false)
+	f.Fuzz(func(t *testing.T, input string, directed bool) {
+		g, err := ReadEdgeList(strings.NewReader(input), directed)
+		if err != nil {
+			return
+		}
+		if g.NumVertices() == 0 {
+			t.Fatal("parser returned an empty graph without error")
+		}
+		var degSum int64
+		for v := 0; v < g.NumVertices(); v++ {
+			degSum += int64(g.Degree(graph.VID(v)))
+		}
+		if degSum != 2*g.NumEdges() {
+			t.Fatalf("degree sum %d != 2m %d", degSum, 2*g.NumEdges())
+		}
+	})
+}
+
+// FuzzReadCommunities checks the community parser against a fixed host
+// graph.
+func FuzzReadCommunities(f *testing.F) {
+	f.Add("1 2 3\n")
+	f.Add("#c\n\n1\tx\n")
+	f.Add("999 998\n1 1 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := graph.FromEdges(false, [][2]int64{{1, 2}, {2, 3}, {3, 4}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		groups, err := ReadCommunities(strings.NewReader(input), g, 1)
+		if err != nil {
+			return
+		}
+		for _, grp := range groups {
+			if len(grp.Members) == 0 {
+				t.Fatal("empty group returned despite minSize 1")
+			}
+			for _, v := range grp.Members {
+				if v < 0 || int(v) >= g.NumVertices() {
+					t.Fatalf("member %d out of range", v)
+				}
+			}
+		}
+	})
+}
+
+// FuzzReadEgoCircles checks the .circles parser.
+func FuzzReadEgoCircles(f *testing.F) {
+	f.Add("circle0\t1\t2\n")
+	f.Add("c\n")
+	f.Add("c0 1 zzz\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := graph.FromEdges(true, [][2]int64{{1, 2}, {2, 3}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		groups, err := ReadEgoCircles(strings.NewReader(input), g, "ego", 1)
+		if err != nil {
+			return
+		}
+		for _, grp := range groups {
+			if !strings.HasPrefix(grp.Name, "ego/") {
+				t.Fatalf("group name %q missing prefix", grp.Name)
+			}
+		}
+	})
+}

@@ -1,0 +1,114 @@
+package detect
+
+import (
+	"math/rand"
+	"testing"
+
+	"gpluscircles/internal/graph"
+	"gpluscircles/internal/score"
+	"gpluscircles/internal/synth"
+)
+
+func TestGreedyModularityTwoCliques(t *testing.T) {
+	g, truth := twoCliques(t)
+	groups, err := GreedyModularity(g, GreedyModularityOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("detected %d communities, want 2", len(groups))
+	}
+	truthGroups := []score.Group{
+		{Name: "a", Members: truth[0]},
+		{Name: "b", Members: truth[1]},
+	}
+	res := MatchGroups(truthGroups, groups)
+	if res.F1 < 0.99 {
+		t.Errorf("F1 = %v, want ~1", res.F1)
+	}
+}
+
+func TestGreedyModularityEmptyAndEdgeless(t *testing.T) {
+	var empty graph.Graph
+	if _, err := GreedyModularity(&empty, GreedyModularityOptions{}); err == nil {
+		t.Error("empty graph accepted")
+	}
+	b := graph.NewBuilder(false)
+	b.AddVertex(1)
+	b.AddVertex(2)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GreedyModularity(g, GreedyModularityOptions{}); err == nil {
+		t.Error("edgeless graph accepted")
+	}
+}
+
+// TestGreedyModularityBeatsOrMatchesLP compares the two global detectors
+// on a modular AGM graph: CNM optimizes modularity directly, so its
+// partition's Q must be at least competitive with label propagation's.
+func TestGreedyModularityBeatsOrMatchesLP(t *testing.T) {
+	cfg := synth.DefaultLiveJournalConfig()
+	cfg.NumVertices = 500
+	cfg.NumCommunities = 15
+	cfg.MaxCommunitySize = 50
+	cfg.MembershipsPerVertex = 1.02
+	cfg.BackgroundDegree = 0.4
+	cfg.IntraDegree = 7
+	cfg.CohesionSigma = 0.1
+	cfg.Seed = 14
+	ds, err := synth.GenerateAGM("modular", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := score.NewContext(ds.Graph)
+
+	cnm, err := GreedyModularity(ds.Graph, GreedyModularityOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, err := LabelPropagation(ds.Graph, LabelPropagationOptions{}, rand.New(rand.NewSource(15)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qCNM := PartitionModularity(ctx, cnm)
+	qLP := PartitionModularity(ctx, lp)
+	if qCNM < 0.2 {
+		t.Errorf("CNM partition Q = %.3f, implausibly low on a modular graph", qCNM)
+	}
+	if qCNM < qLP-0.1 {
+		t.Errorf("CNM Q %.3f clearly below LP Q %.3f", qCNM, qLP)
+	}
+	// The planted communities should also be recovered reasonably.
+	if f1 := MatchGroups(ds.Groups, cnm).F1; f1 < 0.5 {
+		t.Errorf("CNM F1 vs planted communities = %.3f, want >= 0.5", f1)
+	}
+}
+
+func TestGreedyModularityDirected(t *testing.T) {
+	// Directed two-clique graph: CNM works on the undirected view.
+	b := graph.NewBuilder(true)
+	for c := int64(0); c < 2; c++ {
+		base := c * 4
+		for i := base; i < base+4; i++ {
+			for j := base; j < base+4; j++ {
+				if i != j {
+					b.AddEdge(i, j)
+				}
+			}
+		}
+	}
+	b.AddEdge(3, 4)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := GreedyModularity(g, GreedyModularityOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 {
+		t.Errorf("directed CNM found %d communities, want 2", len(groups))
+	}
+}

@@ -1,0 +1,220 @@
+package feature
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"gpluscircles/internal/graph"
+)
+
+// ReadEgoFeatures parses one ego's feature files in the McAuley–Leskovec
+// layout and merges them into the table:
+//
+//	<owner>.featnames  — "index name" per line (global per ego)
+//	<owner>.feat       — "vertexID bit bit bit ..." per alter
+//	<owner>.egofeat    — "bit bit bit ..." for the owner itself
+//
+// Feature indices are remapped through the shared name table so features
+// with the same name across ego files coincide. Vertices absent from the
+// graph are skipped. The .egofeat file is optional.
+func ReadEgoFeatures(dir string, owner int64, g *graph.Graph, t *Table, nameIndex map[string]int32) error {
+	names, err := readFeatNames(filepath.Join(dir, fmt.Sprintf("%d.featnames", owner)))
+	if err != nil {
+		return err
+	}
+	// Local index -> global index via the shared name table.
+	local2global := make([]int32, len(names))
+	for i, name := range names {
+		gi, ok := nameIndex[name]
+		if !ok {
+			gi = int32(len(t.Names))
+			t.Names = append(t.Names, name)
+			nameIndex[name] = gi
+		}
+		local2global[i] = gi
+	}
+
+	apply := func(v graph.VID, bits []string) error {
+		for i, bit := range bits {
+			if i >= len(local2global) {
+				return fmt.Errorf("feature: %d bits exceed %d feature names", len(bits), len(local2global))
+			}
+			switch bit {
+			case "0":
+			case "1":
+				t.Add(v, local2global[i])
+			default:
+				return fmt.Errorf("feature: bit %q is not 0/1", bit)
+			}
+		}
+		return nil
+	}
+
+	featPath := filepath.Join(dir, fmt.Sprintf("%d.feat", owner))
+	if err := eachLine(featPath, func(lineNo int, fields []string) error {
+		if len(fields) < 1 {
+			return nil
+		}
+		ext, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return fmt.Errorf("%s line %d: %w", featPath, lineNo, err)
+		}
+		v, ok := g.Lookup(ext)
+		if !ok {
+			return nil
+		}
+		return apply(v, fields[1:])
+	}); err != nil {
+		return err
+	}
+
+	egoPath := filepath.Join(dir, fmt.Sprintf("%d.egofeat", owner))
+	if _, statErr := os.Stat(egoPath); statErr == nil {
+		ov, ok := g.Lookup(owner)
+		if ok {
+			if err := eachLine(egoPath, func(lineNo int, fields []string) error {
+				return apply(ov, fields)
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteEgoFeatures writes one ego's features in the same layout, using
+// dense bit rows over the table's full feature vocabulary.
+func WriteEgoFeatures(dir string, owner int64, g *graph.Graph, t *Table, alters []graph.VID) error {
+	namesPath := filepath.Join(dir, fmt.Sprintf("%d.featnames", owner))
+	if err := writeLines(namesPath, func(w io.Writer) error {
+		for i, name := range t.Names {
+			if _, err := fmt.Fprintf(w, "%d %s\n", i, name); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	writeBits := func(w io.Writer, v graph.VID) error {
+		active := t.Features(v)
+		ai := 0
+		for f := int32(0); int(f) < len(t.Names); f++ {
+			bit := "0"
+			if ai < len(active) && active[ai] == f {
+				bit = "1"
+				ai++
+			}
+			sep := " "
+			if f == 0 {
+				sep = ""
+			}
+			if _, err := fmt.Fprintf(w, "%s%s", sep, bit); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintln(w)
+		return err
+	}
+
+	featPath := filepath.Join(dir, fmt.Sprintf("%d.feat", owner))
+	if err := writeLines(featPath, func(w io.Writer) error {
+		for _, v := range alters {
+			if _, err := fmt.Fprintf(w, "%d ", g.ExternalID(v)); err != nil {
+				return err
+			}
+			if err := writeBits(w, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if ov, ok := g.Lookup(owner); ok {
+		egoPath := filepath.Join(dir, fmt.Sprintf("%d.egofeat", owner))
+		if err := writeLines(egoPath, func(w io.Writer) error {
+			return writeBits(w, ov)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFeatNames parses "index rest-of-line-as-name" rows.
+func readFeatNames(path string) ([]string, error) {
+	var names []string
+	err := eachLine(path, func(lineNo int, fields []string) error {
+		if len(fields) < 2 {
+			return fmt.Errorf("%s line %d: want 'index name'", path, lineNo)
+		}
+		idx, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return fmt.Errorf("%s line %d: %w", path, lineNo, err)
+		}
+		if idx != len(names) {
+			return fmt.Errorf("%s line %d: index %d out of order", path, lineNo, idx)
+		}
+		names = append(names, strings.Join(fields[1:], " "))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return names, nil
+}
+
+// eachLine streams whitespace-split non-empty lines of a file.
+func eachLine(path string, fn func(lineNo int, fields []string) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("open %s: %w", path, err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 4*1024*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		if err := fn(lineNo, strings.Fields(line)); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("scan %s: %w", path, err)
+	}
+	return nil
+}
+
+// writeLines creates a file and streams writes through a buffered writer.
+func writeLines(path string, fn func(w io.Writer) error) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("close %s: %w", path, cerr)
+		}
+	}()
+	w := bufio.NewWriter(f)
+	if err := fn(w); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("flush %s: %w", path, err)
+	}
+	return nil
+}

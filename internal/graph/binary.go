@@ -1,0 +1,117 @@
+package graph
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// binaryVersion guards the on-disk layout of WriteBinary.
+const binaryVersion = 1
+
+// ErrBadBinary is returned when a binary graph stream is malformed or of
+// an unsupported version.
+var ErrBadBinary = errors.New("graph: malformed binary graph")
+
+// binaryGraph is the gob DTO mirroring the CSR layout. Text edge lists
+// (package dataset) are the interchange format; the binary form exists
+// for fast reload of large graphs, restoring the CSR arrays directly
+// instead of re-sorting edges.
+type binaryGraph struct {
+	Version  int
+	Directed bool
+	IDs      []int64
+	OutOff   []int64
+	OutAdj   []VID
+	InOff    []int64 // nil for undirected (aliases out)
+	InAdj    []VID
+	M        int64
+}
+
+// WriteBinary serializes the graph in a compact binary form.
+func WriteBinary(w io.Writer, g *Graph) error {
+	dto := binaryGraph{
+		Version:  binaryVersion,
+		Directed: g.directed,
+		IDs:      g.ids,
+		OutOff:   g.outOff,
+		OutAdj:   g.outAdj,
+		M:        g.m,
+	}
+	if g.directed {
+		dto.InOff = g.inOff
+		dto.InAdj = g.inAdj
+	}
+	if err := gob.NewEncoder(w).Encode(dto); err != nil {
+		return fmt.Errorf("encode binary graph: %w", err)
+	}
+	return nil
+}
+
+// ReadBinary reads a graph written by WriteBinary and validates its
+// structural invariants before returning it.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	var dto binaryGraph
+	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("decode binary graph: %w", err)
+	}
+	if dto.Version != binaryVersion {
+		return nil, fmt.Errorf("%w: version %d (want %d)", ErrBadBinary, dto.Version, binaryVersion)
+	}
+	n := len(dto.IDs)
+	if len(dto.OutOff) != n+1 {
+		return nil, fmt.Errorf("%w: offsets length %d for %d vertices", ErrBadBinary, len(dto.OutOff), n)
+	}
+	if dto.OutOff[0] != 0 || dto.OutOff[n] != int64(len(dto.OutAdj)) {
+		return nil, fmt.Errorf("%w: offset bounds", ErrBadBinary)
+	}
+	for i := 0; i < n; i++ {
+		if dto.OutOff[i] > dto.OutOff[i+1] {
+			return nil, fmt.Errorf("%w: decreasing offsets at %d", ErrBadBinary, i)
+		}
+	}
+	for _, v := range dto.OutAdj {
+		if v < 0 || int(v) >= n {
+			return nil, fmt.Errorf("%w: adjacency target %d out of range", ErrBadBinary, v)
+		}
+	}
+	g := &Graph{
+		directed: dto.Directed,
+		ids:      dto.IDs,
+		index:    make(map[int64]VID, n),
+		outOff:   dto.OutOff,
+		outAdj:   dto.OutAdj,
+		m:        dto.M,
+	}
+	prev := int64(0)
+	first := true
+	for i, id := range dto.IDs {
+		if !first && id <= prev {
+			return nil, fmt.Errorf("%w: IDs not strictly ascending", ErrBadBinary)
+		}
+		prev, first = id, false
+		g.index[id] = VID(i)
+	}
+	if dto.Directed {
+		if len(dto.InOff) != n+1 {
+			return nil, fmt.Errorf("%w: in-offsets length %d", ErrBadBinary, len(dto.InOff))
+		}
+		for _, v := range dto.InAdj {
+			if v < 0 || int(v) >= n {
+				return nil, fmt.Errorf("%w: in-adjacency target %d out of range", ErrBadBinary, v)
+			}
+		}
+		g.inOff = dto.InOff
+		g.inAdj = dto.InAdj
+		if int64(len(g.outAdj)) != dto.M || int64(len(g.inAdj)) != dto.M {
+			return nil, fmt.Errorf("%w: edge count mismatch", ErrBadBinary)
+		}
+	} else {
+		g.inOff, g.inAdj = g.outOff, g.outAdj
+		if int64(len(g.outAdj)) != 2*dto.M {
+			return nil, fmt.Errorf("%w: undirected adjacency/edge mismatch", ErrBadBinary)
+		}
+	}
+	return g, nil
+}

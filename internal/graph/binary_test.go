@@ -1,0 +1,125 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinaryRoundTripDirected(t *testing.T) {
+	g, err := FromEdges(true, [][2]int64{{10, 20}, {20, 30}, {30, 10}, {10, 30}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsEqual(t, g, back)
+}
+
+func TestBinaryRoundTripUndirected(t *testing.T) {
+	g, err := FromEdges(false, [][2]int64{{1, 2}, {2, 3}, {1, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsEqual(t, g, back)
+}
+
+func assertGraphsEqual(t *testing.T, a, b *Graph) {
+	t.Helper()
+	if a.Directed() != b.Directed() || a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("shape mismatch: (%v,%d,%d) vs (%v,%d,%d)",
+			a.Directed(), a.NumVertices(), a.NumEdges(),
+			b.Directed(), b.NumVertices(), b.NumEdges())
+	}
+	for v := 0; v < a.NumVertices(); v++ {
+		if a.ExternalID(VID(v)) != b.ExternalID(VID(v)) {
+			t.Fatalf("external ID mismatch at %d", v)
+		}
+	}
+	ea, eb := a.EdgeList(), b.EdgeList()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d: %v vs %v", i, ea[i], eb[i])
+		}
+	}
+	// Lookups work on the restored graph.
+	for v := 0; v < b.NumVertices(); v++ {
+		got, ok := b.Lookup(b.ExternalID(VID(v)))
+		if !ok || got != VID(v) {
+			t.Fatalf("lookup broken at %d", v)
+		}
+	}
+}
+
+func TestReadBinaryGarbage(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("not a gob stream")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestReadBinaryValidatesInvariants(t *testing.T) {
+	g, err := FromEdges(true, [][2]int64{{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the edge count and re-encode through the public API by
+	// tampering with the serialized graph's m field via a copy.
+	bad := *g
+	bad.m = 99
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, &bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBinary(&buf); !errors.Is(err, ErrBadBinary) {
+		t.Errorf("err = %v, want ErrBadBinary", err)
+	}
+}
+
+// Property: binary round trips are lossless for arbitrary graphs.
+func TestQuickBinaryRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := FromEdges(seed%2 == 0, randomEdges(rng, 25, 70))
+		if err != nil {
+			return true
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			return false
+		}
+		back, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if back.NumVertices() != g.NumVertices() || back.NumEdges() != g.NumEdges() {
+			return false
+		}
+		ea, eb := g.EdgeList(), back.EdgeList()
+		for i := range ea {
+			if ea[i] != eb[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,54 @@
+package graph
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentReaders validates the documented guarantee that Graph
+// values are safe for concurrent reads: many goroutines traverse the
+// same graph simultaneously (run with -race to make this meaningful —
+// the full suite does).
+func TestConcurrentReaders(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	g, err := FromEdges(true, randomEdges(rng, 60, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	results := make([]int64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			var sum int64
+			for round := 0; round < 50; round++ {
+				for v := 0; v < g.NumVertices(); v++ {
+					sum += int64(g.Degree(VID(v)))
+					for _, u := range g.OutNeighbors(VID(v)) {
+						if g.HasEdge(VID(v), u) {
+							sum++
+						}
+					}
+				}
+				g.Edges(func(e Edge) bool {
+					sum += int64(e.To - e.From)
+					return true
+				})
+				if _, ok := g.Lookup(g.ExternalID(0)); ok {
+					sum++
+				}
+			}
+			results[slot] = sum
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if results[w] != results[0] {
+			t.Fatalf("concurrent readers disagree: %d vs %d", results[w], results[0])
+		}
+	}
+}

@@ -1,0 +1,323 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// triangle returns the directed 3-cycle 1->2->3->1.
+func triangle(t *testing.T) *Graph {
+	t.Helper()
+	g, err := FromEdges(true, [][2]int64{{1, 2}, {2, 3}, {3, 1}})
+	if err != nil {
+		t.Fatalf("build triangle: %v", err)
+	}
+	return g
+}
+
+func TestBuildEmptyGraphFails(t *testing.T) {
+	_, err := NewBuilder(true).Build()
+	if !errors.Is(err, ErrEmptyGraph) {
+		t.Fatalf("got err %v, want ErrEmptyGraph", err)
+	}
+}
+
+func TestDirectedBasics(t *testing.T) {
+	g := triangle(t)
+	if got := g.NumVertices(); got != 3 {
+		t.Errorf("NumVertices = %d, want 3", got)
+	}
+	if got := g.NumEdges(); got != 3 {
+		t.Errorf("NumEdges = %d, want 3", got)
+	}
+	if !g.Directed() {
+		t.Error("Directed() = false, want true")
+	}
+	for v := VID(0); v < 3; v++ {
+		if d := g.Degree(v); d != 2 {
+			t.Errorf("Degree(%d) = %d, want 2", v, d)
+		}
+		if d := g.OutDegree(v); d != 1 {
+			t.Errorf("OutDegree(%d) = %d, want 1", v, d)
+		}
+		if d := g.InDegree(v); d != 1 {
+			t.Errorf("InDegree(%d) = %d, want 1", v, d)
+		}
+	}
+}
+
+func TestExternalIDRoundTrip(t *testing.T) {
+	g, err := FromEdges(true, [][2]int64{{100, 7}, {7, 42}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		ext := g.ExternalID(VID(v))
+		back, ok := g.Lookup(ext)
+		if !ok || back != VID(v) {
+			t.Errorf("Lookup(ExternalID(%d)) = %d,%v", v, back, ok)
+		}
+	}
+	if _, ok := g.Lookup(9999); ok {
+		t.Error("Lookup(9999) found a vertex, want miss")
+	}
+	if _, err := g.MustLookup(9999); err == nil {
+		t.Error("MustLookup(9999) = nil error, want error")
+	}
+}
+
+func TestIDsAssignedInAscendingOrder(t *testing.T) {
+	g, err := FromEdges(false, [][2]int64{{50, 10}, {10, 30}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := g.ExternalIDs()
+	want := []int64{10, 30, 50}
+	for i, id := range ids {
+		if id != want[i] {
+			t.Fatalf("ids = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestSelfLoopsDropped(t *testing.T) {
+	g, err := FromEdges(true, [][2]int64{{1, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d, want 1 (self-loop dropped)", g.NumEdges())
+	}
+}
+
+func TestDuplicateEdgesDeduped(t *testing.T) {
+	g, err := FromEdges(true, [][2]int64{{1, 2}, {1, 2}, {1, 2}, {2, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Errorf("NumEdges = %d, want 2", g.NumEdges())
+	}
+}
+
+func TestUndirectedNormalization(t *testing.T) {
+	// {1,2} added both ways must produce a single edge.
+	g, err := FromEdges(false, [][2]int64{{1, 2}, {2, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	u, _ := g.Lookup(1)
+	v, _ := g.Lookup(2)
+	if !g.HasEdge(u, v) || !g.HasEdge(v, u) {
+		t.Error("undirected adjacency not symmetric")
+	}
+	if g.Degree(u) != 1 || g.Degree(v) != 1 {
+		t.Errorf("degrees = %d,%d, want 1,1", g.Degree(u), g.Degree(v))
+	}
+}
+
+func TestHasEdgeDirected(t *testing.T) {
+	g := triangle(t)
+	v1, _ := g.Lookup(1)
+	v2, _ := g.Lookup(2)
+	if !g.HasEdge(v1, v2) {
+		t.Error("HasEdge(1->2) = false, want true")
+	}
+	if g.HasEdge(v2, v1) {
+		t.Error("HasEdge(2->1) = true, want false")
+	}
+}
+
+func TestEdgesIterationDirected(t *testing.T) {
+	g := triangle(t)
+	var count int
+	g.Edges(func(Edge) bool { count++; return true })
+	if count != 3 {
+		t.Errorf("iterated %d edges, want 3", count)
+	}
+}
+
+func TestEdgesIterationUndirectedReportsOnce(t *testing.T) {
+	g, err := FromEdges(false, [][2]int64{{1, 2}, {2, 3}, {3, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[Edge]bool{}
+	g.Edges(func(e Edge) bool {
+		if e.From >= e.To {
+			t.Errorf("edge %v not in canonical From<To order", e)
+		}
+		if seen[e] {
+			t.Errorf("edge %v reported twice", e)
+		}
+		seen[e] = true
+		return true
+	})
+	if len(seen) != 3 {
+		t.Errorf("saw %d edges, want 3", len(seen))
+	}
+}
+
+func TestEdgesEarlyStop(t *testing.T) {
+	g := triangle(t)
+	var count int
+	g.Edges(func(Edge) bool { count++; return false })
+	if count != 1 {
+		t.Errorf("iterated %d edges after early stop, want 1", count)
+	}
+}
+
+func TestIsolatedVertex(t *testing.T) {
+	b := NewBuilder(true)
+	b.AddEdge(1, 2)
+	b.AddVertex(99)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 {
+		t.Fatalf("NumVertices = %d, want 3", g.NumVertices())
+	}
+	v, _ := g.Lookup(99)
+	if g.Degree(v) != 0 {
+		t.Errorf("Degree(isolated) = %d, want 0", g.Degree(v))
+	}
+}
+
+func TestMeanDegrees(t *testing.T) {
+	g := triangle(t)
+	if got := g.MeanDegree(); got != 2 {
+		t.Errorf("MeanDegree = %v, want 2", got)
+	}
+	if got := g.MeanInDegree(); got != 1 {
+		t.Errorf("MeanInDegree = %v, want 1", got)
+	}
+	if got := g.MeanOutDegree(); got != 1 {
+		t.Errorf("MeanOutDegree = %v, want 1", got)
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g, err := FromEdges(true, [][2]int64{{1, 5}, {1, 2}, {1, 9}, {1, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := g.Lookup(1)
+	adj := g.OutNeighbors(v)
+	if !sort.SliceIsSorted(adj, func(i, j int) bool { return adj[i] < adj[j] }) {
+		t.Errorf("OutNeighbors not sorted: %v", adj)
+	}
+}
+
+// randomEdges draws k random pairs over ids [0, n).
+func randomEdges(rng *rand.Rand, n, k int) [][2]int64 {
+	out := make([][2]int64, k)
+	for i := range out {
+		out[i] = [2]int64{rng.Int63n(int64(n)), rng.Int63n(int64(n))}
+	}
+	return out
+}
+
+// Property: in any directed graph, sum of out-degrees = sum of in-degrees
+// = m, and sum of Degree = 2m.
+func TestQuickDegreeSums(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := FromEdges(true, randomEdges(rng, 30, 120))
+		if err != nil {
+			return true // all self-loops is acceptable degenerate input
+		}
+		var outSum, inSum, dSum int64
+		for v := 0; v < g.NumVertices(); v++ {
+			outSum += int64(g.OutDegree(VID(v)))
+			inSum += int64(g.InDegree(VID(v)))
+			dSum += int64(g.Degree(VID(v)))
+		}
+		return outSum == g.NumEdges() && inSum == g.NumEdges() && dSum == 2*g.NumEdges()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: undirected handshake lemma — sum of degrees = 2m.
+func TestQuickHandshake(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := FromEdges(false, randomEdges(rng, 25, 90))
+		if err != nil {
+			return true
+		}
+		var dSum int64
+		for v := 0; v < g.NumVertices(); v++ {
+			dSum += int64(g.Degree(VID(v)))
+		}
+		return dSum == 2*g.NumEdges()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: HasEdge agrees with the edge iterator.
+func TestQuickHasEdgeConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := FromEdges(true, randomEdges(rng, 20, 60))
+		if err != nil {
+			return true
+		}
+		ok := true
+		g.Edges(func(e Edge) bool {
+			if !g.HasEdge(e.From, e.To) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: build is deterministic under edge-order permutation.
+func TestQuickBuildOrderIndependent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		edges := randomEdges(rng, 15, 40)
+		g1, err1 := FromEdges(true, edges)
+		shuffled := make([][2]int64, len(edges))
+		copy(shuffled, edges)
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		g2, err2 := FromEdges(true, shuffled)
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		if g1.NumVertices() != g2.NumVertices() || g1.NumEdges() != g2.NumEdges() {
+			return false
+		}
+		e1, e2 := g1.EdgeList(), g2.EdgeList()
+		for i := range e1 {
+			if e1[i] != e2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,140 @@
+package graphalgo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gpluscircles/internal/graph"
+)
+
+func TestBetweennessPath(t *testing.T) {
+	// Path 0-1-2: the middle vertex lies on the single 0<->2 pair in
+	// both directions -> bc = 2; endpoints 0.
+	g := mustGraph(t, false, [][2]int64{{0, 1}, {1, 2}})
+	bc := Betweenness(g)
+	mid, _ := g.Lookup(1)
+	end, _ := g.Lookup(0)
+	if math.Abs(bc[mid]-2) > 1e-12 {
+		t.Errorf("bc[mid] = %v, want 2", bc[mid])
+	}
+	if bc[end] != 0 {
+		t.Errorf("bc[end] = %v, want 0", bc[end])
+	}
+}
+
+func TestBetweennessStar(t *testing.T) {
+	// Star with hub 0 and 4 leaves: hub lies on all 4*3 ordered leaf
+	// pairs -> bc = 12.
+	g := mustGraph(t, false, [][2]int64{{0, 1}, {0, 2}, {0, 3}, {0, 4}})
+	bc := Betweenness(g)
+	hub, _ := g.Lookup(0)
+	if math.Abs(bc[hub]-12) > 1e-12 {
+		t.Errorf("bc[hub] = %v, want 12", bc[hub])
+	}
+}
+
+func TestBetweennessSplitsOverShortestPaths(t *testing.T) {
+	// A 4-cycle: each vertex lies on half of the one opposite pair's two
+	// shortest paths, in both directions -> bc = 1 per vertex.
+	g := mustGraph(t, false, [][2]int64{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	bc := Betweenness(g)
+	for v, b := range bc {
+		if math.Abs(b-1) > 1e-12 {
+			t.Errorf("bc[%d] = %v, want 1", v, b)
+		}
+	}
+}
+
+func TestBetweennessClique(t *testing.T) {
+	// In a clique no vertex is interior to any shortest path.
+	b := graph.NewBuilder(false)
+	for i := int64(0); i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, bcv := range Betweenness(g) {
+		if bcv != 0 {
+			t.Errorf("bc[%d] = %v, want 0 in clique", v, bcv)
+		}
+	}
+}
+
+func TestSampledBetweennessFullEqualsExact(t *testing.T) {
+	g := mustGraph(t, false, [][2]int64{{0, 1}, {1, 2}, {2, 3}, {1, 3}})
+	exact := Betweenness(g)
+	sampled, err := SampledBetweenness(g, 100, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range exact {
+		if math.Abs(exact[v]-sampled[v]) > 1e-12 {
+			t.Errorf("bc[%d]: sampled %v != exact %v", v, sampled[v], exact[v])
+		}
+	}
+}
+
+func TestSampledBetweennessNilRNG(t *testing.T) {
+	g := mustGraph(t, false, [][2]int64{{0, 1}})
+	if _, err := SampledBetweenness(g, 1, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+// Property: betweenness is non-negative, zero on degree-<2 vertices, and
+// the total equals the number of interior-vertex visits over all pairs
+// (bounded by n(n-1)(n-2)).
+func TestQuickBetweennessBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := graph.FromEdges(seed%2 == 0, randomEdges(rng, 14, 30))
+		if err != nil {
+			return true
+		}
+		bc := Betweenness(g)
+		n := float64(g.NumVertices())
+		var total float64
+		for v, b := range bc {
+			if b < -1e-9 || math.IsNaN(b) {
+				return false
+			}
+			if g.Degree(graph.VID(v)) < 2 && b > 1e-9 {
+				return false
+			}
+			total += b
+		}
+		return total <= n*(n-1)*(n-2)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: consecutive Brandes sweeps on the reused state are
+// independent — running twice gives doubled accumulators.
+func TestQuickBetweennessDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := graph.FromEdges(false, randomEdges(rng, 12, 25))
+		if err != nil {
+			return true
+		}
+		a := Betweenness(g)
+		b := Betweenness(g)
+		for v := range a {
+			if a[v] != b[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,108 @@
+// Package graphalgo implements the graph algorithms the evaluation
+// pipeline needs: breadth-first search, connected components, shortest-path
+// statistics (diameter, average shortest path), triangle counting and
+// clustering coefficients. All algorithms are iterative (no recursion) so
+// they scale to the multi-million-edge graphs of the paper's data sets.
+package graphalgo
+
+import "gpluscircles/internal/graph"
+
+// Direction selects which adjacency BFS traverses.
+type Direction int
+
+const (
+	// Out follows arcs forward (the only choice for undirected graphs,
+	// where adjacency is symmetric).
+	Out Direction = iota + 1
+	// In follows arcs backward.
+	In
+	// Both treats every arc as bidirectional, i.e. traverses the
+	// underlying undirected structure. This matches the paper's distance
+	// metrics, which are computed on connectivity rather than direction.
+	Both
+)
+
+// bfsState is a reusable BFS workspace to avoid reallocation across the
+// many traversals done by distance sampling.
+type bfsState struct {
+	dist  []int32
+	queue []graph.VID
+	epoch []int32 // visited marker, compared against cur to skip clearing
+	cur   int32
+}
+
+func newBFSState(n int) *bfsState {
+	return &bfsState{
+		dist:  make([]int32, n),
+		queue: make([]graph.VID, 0, n),
+		epoch: make([]int32, n),
+	}
+}
+
+// run performs BFS from src and returns the visit count, the maximum
+// distance reached (eccentricity within the component), and the sum of
+// distances to all reached vertices. st.dist holds per-vertex distances
+// for vertices whose epoch equals st.cur.
+func (st *bfsState) run(g *graph.Graph, src graph.VID, dir Direction) (reached int, ecc int32, distSum int64) {
+	st.cur++
+	st.queue = st.queue[:0]
+	st.queue = append(st.queue, src)
+	st.epoch[src] = st.cur
+	st.dist[src] = 0
+	reached = 1
+
+	for head := 0; head < len(st.queue); head++ {
+		u := st.queue[head]
+		du := st.dist[u]
+		if du > ecc {
+			ecc = du
+		}
+		distSum += int64(du)
+
+		visit := func(v graph.VID) {
+			if st.epoch[v] == st.cur {
+				return
+			}
+			st.epoch[v] = st.cur
+			st.dist[v] = du + 1
+			st.queue = append(st.queue, v)
+			reached++
+		}
+		switch dir {
+		case Out:
+			for _, v := range g.OutNeighbors(u) {
+				visit(v)
+			}
+		case In:
+			for _, v := range g.InNeighbors(u) {
+				visit(v)
+			}
+		case Both:
+			for _, v := range g.OutNeighbors(u) {
+				visit(v)
+			}
+			if g.Directed() {
+				for _, v := range g.InNeighbors(u) {
+					visit(v)
+				}
+			}
+		}
+	}
+	return reached, ecc, distSum
+}
+
+// BFSDistances returns the BFS distance from src to every vertex, with -1
+// for unreachable vertices.
+func BFSDistances(g *graph.Graph, src graph.VID, dir Direction) []int32 {
+	st := newBFSState(g.NumVertices())
+	st.run(g, src, dir)
+	out := make([]int32, g.NumVertices())
+	for v := range out {
+		if st.epoch[v] == st.cur {
+			out[v] = st.dist[v]
+		} else {
+			out[v] = -1
+		}
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+package graphalgo
+
+import (
+	"math/rand"
+
+	"gpluscircles/internal/graph"
+)
+
+// Closeness computes closeness centrality for every vertex: the number
+// of reachable vertices divided by the sum of distances to them (the
+// Wasserman–Faust generalization, which handles disconnected graphs by
+// scaling with the reachable fraction). Arcs are treated as
+// bidirectional. Cost is O(n·(n+m)).
+func Closeness(g *graph.Graph) []float64 {
+	n := g.NumVertices()
+	out := make([]float64, n)
+	st := newBFSState(n)
+	for v := 0; v < n; v++ {
+		out[v] = closenessFrom(g, graph.VID(v), st, n)
+	}
+	return out
+}
+
+// SampledCloseness estimates closeness for `samples` uniformly chosen
+// vertices, returning the per-vertex values aligned with the returned
+// vertex slice.
+func SampledCloseness(g *graph.Graph, samples int, rng *rand.Rand) ([]graph.VID, []float64, error) {
+	if rng == nil {
+		return nil, nil, ErrNoRNG
+	}
+	n := g.NumVertices()
+	if samples >= n {
+		all := Closeness(g)
+		return g.Vertices(), all, nil
+	}
+	st := newBFSState(n)
+	perm := rng.Perm(n)[:samples]
+	vertices := make([]graph.VID, samples)
+	values := make([]float64, samples)
+	for i, v := range perm {
+		vertices[i] = graph.VID(v)
+		values[i] = closenessFrom(g, graph.VID(v), st, n)
+	}
+	return vertices, values, nil
+}
+
+// closenessFrom computes one vertex's closeness with a shared workspace.
+func closenessFrom(g *graph.Graph, v graph.VID, st *bfsState, n int) float64 {
+	reached, _, distSum := st.run(g, v, Both)
+	if reached <= 1 || distSum == 0 {
+		return 0
+	}
+	r := float64(reached - 1)
+	// (r / (n-1)) * (r / distSum): reachable fraction times inverse mean
+	// distance.
+	return r * r / (float64(n-1) * float64(distSum))
+}

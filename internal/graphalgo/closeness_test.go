@@ -1,0 +1,99 @@
+package graphalgo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gpluscircles/internal/graph"
+)
+
+func TestClosenessStarHub(t *testing.T) {
+	g := mustGraph(t, false, [][2]int64{{0, 1}, {0, 2}, {0, 3}})
+	cc := Closeness(g)
+	hub, _ := g.Lookup(0)
+	leaf, _ := g.Lookup(1)
+	// Hub: 3 reachable at distance 1 each -> 3*3/(3*3) = 1.
+	if math.Abs(cc[hub]-1) > 1e-12 {
+		t.Errorf("closeness(hub) = %v, want 1", cc[hub])
+	}
+	// Leaf: distances 1,2,2 -> sum 5 -> 3*3/(3*5) = 0.6.
+	if math.Abs(cc[leaf]-0.6) > 1e-12 {
+		t.Errorf("closeness(leaf) = %v, want 0.6", cc[leaf])
+	}
+}
+
+func TestClosenessIsolated(t *testing.T) {
+	b := graph.NewBuilder(false)
+	b.AddEdge(0, 1)
+	b.AddVertex(9)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	iso, _ := g.Lookup(9)
+	if Closeness(g)[iso] != 0 {
+		t.Error("isolated vertex has nonzero closeness")
+	}
+}
+
+func TestClosenessDisconnectedScaling(t *testing.T) {
+	// Two disjoint edges: each vertex reaches 1 of 3 others at distance
+	// 1 -> 1*1/(3*1) = 1/3 (the reachable-fraction penalty).
+	g := mustGraph(t, false, [][2]int64{{0, 1}, {2, 3}})
+	for v, c := range Closeness(g) {
+		if math.Abs(c-1.0/3) > 1e-12 {
+			t.Errorf("closeness[%d] = %v, want 1/3", v, c)
+		}
+	}
+}
+
+func TestSampledClosenessFull(t *testing.T) {
+	g := mustGraph(t, false, [][2]int64{{0, 1}, {1, 2}})
+	vs, vals, err := SampledCloseness(g, 10, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != g.NumVertices() || len(vals) != g.NumVertices() {
+		t.Errorf("full sample sizes %d/%d", len(vs), len(vals))
+	}
+}
+
+func TestSampledClosenessSubset(t *testing.T) {
+	g := mustGraph(t, false, [][2]int64{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	vs, vals, err := SampledCloseness(g, 2, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 2 || len(vals) != 2 {
+		t.Fatalf("sample sizes %d/%d, want 2/2", len(vs), len(vals))
+	}
+	exact := Closeness(g)
+	for i, v := range vs {
+		if vals[i] != exact[v] {
+			t.Errorf("sampled closeness[%d] = %v, exact %v", v, vals[i], exact[v])
+		}
+	}
+}
+
+// Property: closeness lies in [0,1] and the center of a path dominates
+// its endpoints.
+func TestQuickClosenessBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := graph.FromEdges(seed%2 == 0, randomEdges(rng, 16, 40))
+		if err != nil {
+			return true
+		}
+		for _, c := range Closeness(g) {
+			if c < 0 || c > 1+1e-9 || math.IsNaN(c) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,212 @@
+package graphalgo
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gpluscircles/internal/graph"
+)
+
+func TestPageRankSumsToOne(t *testing.T) {
+	g := mustGraph(t, true, [][2]int64{{0, 1}, {1, 2}, {2, 0}, {2, 3}})
+	pr, err := PageRank(g, PageRankOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, r := range pr {
+		if r <= 0 {
+			t.Errorf("non-positive rank %v", r)
+		}
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("ranks sum to %v, want 1", sum)
+	}
+}
+
+func TestPageRankSymmetricGraphUniform(t *testing.T) {
+	// A directed cycle is degree-regular: uniform PageRank.
+	g := mustGraph(t, true, [][2]int64{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	pr, err := PageRank(g, PageRankOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range pr {
+		if math.Abs(r-0.25) > 1e-6 {
+			t.Errorf("cycle rank = %v, want 0.25", r)
+		}
+	}
+}
+
+func TestPageRankSinkAttractsMass(t *testing.T) {
+	// Star into a sink: the sink must outrank the leaves.
+	g := mustGraph(t, true, [][2]int64{{1, 0}, {2, 0}, {3, 0}})
+	pr, err := PageRank(g, PageRankOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink, _ := g.Lookup(0)
+	leaf, _ := g.Lookup(1)
+	if pr[sink] <= pr[leaf] {
+		t.Errorf("sink rank %v <= leaf rank %v", pr[sink], pr[leaf])
+	}
+}
+
+func TestPageRankDanglingMassConserved(t *testing.T) {
+	// 0 -> 1, 1 has no out-links (dangling).
+	g := mustGraph(t, true, [][2]int64{{0, 1}})
+	pr, err := PageRank(g, PageRankOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := pr[0] + pr[1]
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("mass = %v, want 1", sum)
+	}
+}
+
+func TestDegreeAssortativityDisassortativeStar(t *testing.T) {
+	// A star is maximally disassortative.
+	g := mustGraph(t, false, [][2]int64{{0, 1}, {0, 2}, {0, 3}, {0, 4}})
+	if r := DegreeAssortativity(g); r >= 0 {
+		t.Errorf("star assortativity = %v, want < 0", r)
+	}
+}
+
+func TestDegreeAssortativityRegularGraphZero(t *testing.T) {
+	// A cycle is degree-regular: zero variance, defined as 0.
+	g := mustGraph(t, false, [][2]int64{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	if r := DegreeAssortativity(g); r != 0 {
+		t.Errorf("regular assortativity = %v, want 0", r)
+	}
+}
+
+func TestKCoreTriangleWithTail(t *testing.T) {
+	// Triangle (core 2) with a pendant vertex (core 1).
+	g := mustGraph(t, false, [][2]int64{{0, 1}, {1, 2}, {2, 0}, {2, 3}})
+	core := KCoreDecomposition(g)
+	v3, _ := g.Lookup(3)
+	if core[v3] != 1 {
+		t.Errorf("pendant core = %d, want 1", core[v3])
+	}
+	for _, ext := range []int64{0, 1, 2} {
+		v, _ := g.Lookup(ext)
+		if core[v] != 2 {
+			t.Errorf("triangle vertex %d core = %d, want 2", ext, core[v])
+		}
+	}
+	if MaxCore(g) != 2 {
+		t.Errorf("MaxCore = %d, want 2", MaxCore(g))
+	}
+}
+
+func TestKCoreClique(t *testing.T) {
+	// K5: every vertex has core number 4.
+	b := graph.NewBuilder(false)
+	for i := int64(0); i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, c := range KCoreDecomposition(g) {
+		if c != 4 {
+			t.Errorf("K5 core[%d] = %d, want 4", v, c)
+		}
+	}
+}
+
+func TestPageRankEmptyGraph(t *testing.T) {
+	var g graph.Graph
+	if _, err := PageRank(&g, PageRankOptions{}); !errors.Is(err, ErrEmptyGraph) {
+		t.Errorf("err = %v, want ErrEmptyGraph", err)
+	}
+}
+
+// Property: PageRank is a probability distribution for any graph.
+func TestQuickPageRankDistribution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := graph.FromEdges(seed%2 == 0, randomEdges(rng, 20, 50))
+		if err != nil {
+			return true
+		}
+		pr, err := PageRank(g, PageRankOptions{})
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, r := range pr {
+			if r < 0 || math.IsNaN(r) {
+				return false
+			}
+			sum += r
+		}
+		return math.Abs(sum-1) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: assortativity is a correlation, so it stays within [-1, 1].
+func TestQuickAssortativityBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := graph.FromEdges(seed%2 == 0, randomEdges(rng, 15, 45))
+		if err != nil {
+			return true
+		}
+		r := DegreeAssortativity(g)
+		return r >= -1-1e-9 && r <= 1+1e-9 && !math.IsNaN(r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: core numbers are bounded by degree, and the k-core induced
+// by vertices with core >= k has minimum degree >= k within itself (for
+// undirected graphs).
+func TestQuickKCoreInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := graph.FromEdges(false, randomEdges(rng, 18, 60))
+		if err != nil {
+			return true
+		}
+		core := KCoreDecomposition(g)
+		for v, c := range core {
+			if c > g.Degree(graph.VID(v)) || c < 0 {
+				return false
+			}
+		}
+		// Check the 2-core: within vertices of core >= 2, everyone keeps
+		// at least 2 neighbours of core >= 2.
+		for v, c := range core {
+			if c < 2 {
+				continue
+			}
+			count := 0
+			for _, w := range g.OutNeighbors(graph.VID(v)) {
+				if core[w] >= 2 {
+					count++
+				}
+			}
+			if count < 2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

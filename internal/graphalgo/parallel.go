@@ -1,0 +1,93 @@
+package graphalgo
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"gpluscircles/internal/graph"
+)
+
+// ParallelSampledDistances estimates diameter and ASP like
+// SampledDistances but fans the BFS sources out over a bounded worker
+// pool. Results are deterministic for a given seed (source selection
+// happens up front; workers only aggregate commutative sums and maxima).
+// Unlike the serial version it omits the double-sweep refinement, so its
+// diameter bound can be slightly looser; ASP estimates agree in
+// distribution. workers <= 0 selects GOMAXPROCS.
+func ParallelSampledDistances(g *graph.Graph, sources, workers int, rng *rand.Rand) (DistanceStats, error) {
+	if rng == nil {
+		return DistanceStats{}, ErrNoRNG
+	}
+	n := g.NumVertices()
+	if n == 0 {
+		return DistanceStats{}, nil
+	}
+	if sources > n {
+		sources = n
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > sources {
+		workers = sources
+	}
+
+	// Choose sources up front so the result does not depend on worker
+	// scheduling.
+	var picks []graph.VID
+	if sources == n {
+		picks = g.Vertices()
+	} else {
+		perm := rng.Perm(n)[:sources]
+		picks = make([]graph.VID, sources)
+		for i, v := range perm {
+			picks[i] = graph.VID(v)
+		}
+	}
+
+	type partial struct {
+		diameter int
+		distSum  int64
+		pairs    int64
+	}
+	results := make([]partial, workers)
+	next := make(chan graph.VID)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			st := newBFSState(n)
+			for src := range next {
+				reached, ecc, distSum := st.run(g, src, Both)
+				p := &results[slot]
+				if int(ecc) > p.diameter {
+					p.diameter = int(ecc)
+				}
+				p.distSum += distSum
+				p.pairs += int64(reached - 1)
+			}
+		}(w)
+	}
+	for _, src := range picks {
+		next <- src
+	}
+	close(next)
+	wg.Wait()
+
+	var out DistanceStats
+	var totalDist int64
+	out.Sources = len(picks)
+	for _, p := range results {
+		if p.diameter > out.Diameter {
+			out.Diameter = p.diameter
+		}
+		totalDist += p.distSum
+		out.PairsSampled += p.pairs
+	}
+	if out.PairsSampled > 0 {
+		out.ASP = float64(totalDist) / float64(out.PairsSampled)
+	}
+	return out, nil
+}

@@ -1,0 +1,62 @@
+package graphalgo
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"gpluscircles/internal/graph"
+)
+
+func TestParallelSampledDistancesFullMatchesExact(t *testing.T) {
+	g := mustGraph(t, false, [][2]int64{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}})
+	exact := ExactDistances(g)
+	for _, workers := range []int{0, 1, 3} {
+		got, err := ParallelSampledDistances(g, g.NumVertices(), workers, rand.New(rand.NewSource(1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Diameter != exact.Diameter {
+			t.Errorf("workers=%d: diameter %d, want %d", workers, got.Diameter, exact.Diameter)
+		}
+		if math.Abs(got.ASP-exact.ASP) > 1e-12 {
+			t.Errorf("workers=%d: ASP %v, want %v", workers, got.ASP, exact.ASP)
+		}
+		if got.PairsSampled != exact.PairsSampled {
+			t.Errorf("workers=%d: pairs %d, want %d", workers, got.PairsSampled, exact.PairsSampled)
+		}
+	}
+}
+
+func TestParallelSampledDistancesDeterministic(t *testing.T) {
+	rng1 := rand.New(rand.NewSource(5))
+	rng2 := rand.New(rand.NewSource(5))
+	b := graph.NewBuilder(false)
+	for i := int64(0); i < 200; i++ {
+		b.AddEdge(i, (i+1)%200)
+		b.AddEdge(i, (i*7+3)%200)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ParallelSampledDistances(g, 20, 4, rng1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := ParallelSampledDistances(g, 20, 2, rng2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != c {
+		t.Errorf("results differ across worker counts: %+v vs %+v", a, c)
+	}
+}
+
+func TestParallelSampledDistancesNilRNG(t *testing.T) {
+	g := mustGraph(t, false, [][2]int64{{0, 1}})
+	if _, err := ParallelSampledDistances(g, 1, 2, nil); !errors.Is(err, ErrNoRNG) {
+		t.Errorf("err = %v, want ErrNoRNG", err)
+	}
+}

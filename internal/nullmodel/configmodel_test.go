@@ -1,0 +1,127 @@
+package nullmodel
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gpluscircles/internal/graph"
+)
+
+func TestConfigurationModelUndirectedPreservesDegrees(t *testing.T) {
+	g := randomConnectedGraph(t, 20, 60, 200, false)
+	cm, err := ConfigurationModel(g, rand.New(rand.NewSource(21)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !degreesEqual(g, cm) {
+		t.Error("degree sequence changed")
+	}
+	if cm.NumEdges() != g.NumEdges() {
+		t.Errorf("edges %d -> %d", g.NumEdges(), cm.NumEdges())
+	}
+}
+
+func TestConfigurationModelDirectedPreservesDegrees(t *testing.T) {
+	g := randomConnectedGraph(t, 22, 50, 250, true)
+	cm, err := ConfigurationModel(g, rand.New(rand.NewSource(23)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !degreesEqual(g, cm) {
+		t.Error("in/out degree sequence changed")
+	}
+}
+
+func TestConfigurationModelRandomizes(t *testing.T) {
+	g := randomConnectedGraph(t, 24, 80, 300, false)
+	cm, err := ConfigurationModel(g, rand.New(rand.NewSource(25)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := 0
+	cm.Edges(func(e graph.Edge) bool {
+		if g.HasEdge(e.From, e.To) {
+			shared++
+		}
+		return true
+	})
+	if float64(shared) > 0.6*float64(g.NumEdges()) {
+		t.Errorf("configuration model kept %d/%d edges", shared, g.NumEdges())
+	}
+}
+
+func TestConfigurationModelNilRNG(t *testing.T) {
+	g := randomConnectedGraph(t, 26, 10, 10, false)
+	if _, err := ConfigurationModel(g, nil); !errors.Is(err, ErrNoRNG) {
+		t.Errorf("err = %v, want ErrNoRNG", err)
+	}
+}
+
+func TestConfigurationModelAgreesWithRewireOnExpectation(t *testing.T) {
+	// Both null-model generators preserve degrees, so the expected
+	// internal edge count of a fixed vertex set should agree closely.
+	g := randomConnectedGraph(t, 27, 60, 500, false)
+	rng := rand.New(rand.NewSource(28))
+	var members []graph.VID
+	for v := 0; v < g.NumVertices(); v += 2 {
+		members = append(members, graph.VID(v))
+	}
+	set := graph.SetOf(g, members)
+
+	const samples = 15
+	var viaRewire, viaConfig float64
+	for i := 0; i < samples; i++ {
+		rw, err := Rewire(g, 5, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaRewire += float64(graph.Cut(rw, set).Internal)
+		cm, err := ConfigurationModel(g, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaConfig += float64(graph.Cut(cm, set).Internal)
+	}
+	viaRewire /= samples
+	viaConfig /= samples
+	if viaRewire == 0 {
+		t.Fatal("rewire expectation is 0")
+	}
+	rel := (viaRewire - viaConfig) / viaRewire
+	if rel < -0.25 || rel > 0.25 {
+		t.Errorf("null models disagree: rewire %v vs config %v", viaRewire, viaConfig)
+	}
+}
+
+// Property: the configuration model preserves in/out degrees and
+// simplicity for arbitrary seed graphs.
+func TestQuickConfigurationModelInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		directed := seed%2 == 0
+		b := graph.NewBuilder(directed)
+		n := 10 + rng.Intn(25)
+		for i := 1; i < n; i++ {
+			b.AddEdge(int64(i-1), int64(i))
+		}
+		for k := 0; k < 4*n; k++ {
+			b.AddEdge(rng.Int63n(int64(n)), rng.Int63n(int64(n)))
+		}
+		g, err := b.Build()
+		if err != nil {
+			return true
+		}
+		cm, err := ConfigurationModel(g, rng)
+		if err != nil {
+			// Rare repair failure on adversarial sequences is allowed,
+			// but must be reported as ErrStubMatching.
+			return errors.Is(err, ErrStubMatching)
+		}
+		return degreesEqual(g, cm) && cm.NumEdges() == g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

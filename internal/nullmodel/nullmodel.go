@@ -1,0 +1,330 @@
+// Package nullmodel implements the Newman–Girvan null model used by the
+// Modularity scoring function (Eq. 4): random graphs with the same degree
+// sequence as the original graph. Randomization follows the approach of
+// Viger and Latapy — start from a valid realization and apply
+// degree-preserving double-edge swaps, optionally preserving connectivity
+// with windowed rollback — plus a Havel–Hakimi constructor for building a
+// realization directly from a degree sequence.
+package nullmodel
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"gpluscircles/internal/graph"
+	"gpluscircles/internal/graphalgo"
+)
+
+var (
+	// ErrNoRNG is returned when a nil random source is supplied.
+	ErrNoRNG = errors.New("nullmodel: nil RNG")
+	// ErrNotGraphical is returned by FromDegreeSequence when no simple
+	// graph realizes the sequence.
+	ErrNotGraphical = errors.New("nullmodel: degree sequence is not graphical")
+)
+
+// rewirer holds a mutable arc list with O(1) duplicate detection for the
+// swap Markov chain.
+type rewirer struct {
+	directed bool
+	n        int
+	edges    []graph.Edge
+	present  map[uint64]struct{}
+}
+
+func pack(u, v graph.VID) uint64 {
+	return uint64(uint32(u))<<32 | uint64(uint32(v))
+}
+
+func newRewirer(g *graph.Graph) *rewirer {
+	r := &rewirer{
+		directed: g.Directed(),
+		n:        g.NumVertices(),
+		edges:    g.EdgeList(),
+		present:  make(map[uint64]struct{}, g.NumEdges()),
+	}
+	for _, e := range r.edges {
+		r.present[r.key(e.From, e.To)] = struct{}{}
+	}
+	return r
+}
+
+// key canonicalizes undirected edges so {u,v} and {v,u} collide.
+func (r *rewirer) key(u, v graph.VID) uint64 {
+	if !r.directed && u > v {
+		u, v = v, u
+	}
+	return pack(u, v)
+}
+
+func (r *rewirer) has(u, v graph.VID) bool {
+	_, ok := r.present[r.key(u, v)]
+	return ok
+}
+
+// swapRecord remembers one applied swap so a window can be rolled back.
+type swapRecord struct {
+	i, j       int
+	oldI, oldJ graph.Edge
+}
+
+// trySwap attempts one double-edge swap on edge indices i and j, returning
+// the record if the swap was applied. Directed swap:
+// (a→b),(c→d) ⇒ (a→d),(c→b). Undirected swap: {a,b},{c,d} ⇒ {a,c},{b,d}
+// or {a,d},{b,c} chosen at random. Swaps creating self-loops or duplicate
+// edges are rejected.
+func (r *rewirer) trySwap(i, j int, rng *rand.Rand) (swapRecord, bool) {
+	if i == j {
+		return swapRecord{}, false
+	}
+	e1, e2 := r.edges[i], r.edges[j]
+	var n1, n2 graph.Edge
+	if r.directed {
+		n1 = graph.Edge{From: e1.From, To: e2.To}
+		n2 = graph.Edge{From: e2.From, To: e1.To}
+	} else {
+		if rng.Intn(2) == 0 {
+			n1 = graph.Edge{From: e1.From, To: e2.From}
+			n2 = graph.Edge{From: e1.To, To: e2.To}
+		} else {
+			n1 = graph.Edge{From: e1.From, To: e2.To}
+			n2 = graph.Edge{From: e1.To, To: e2.From}
+		}
+	}
+	if n1.From == n1.To || n2.From == n2.To {
+		return swapRecord{}, false
+	}
+	k1, k2 := r.key(n1.From, n1.To), r.key(n2.From, n2.To)
+	if k1 == k2 {
+		return swapRecord{}, false
+	}
+	if _, dup := r.present[k1]; dup {
+		return swapRecord{}, false
+	}
+	if _, dup := r.present[k2]; dup {
+		return swapRecord{}, false
+	}
+	delete(r.present, r.key(e1.From, e1.To))
+	delete(r.present, r.key(e2.From, e2.To))
+	r.present[k1] = struct{}{}
+	r.present[k2] = struct{}{}
+	r.edges[i], r.edges[j] = n1, n2
+	return swapRecord{i: i, j: j, oldI: e1, oldJ: e2}, true
+}
+
+// undo reverses a sequence of applied swaps (most recent first).
+func (r *rewirer) undo(records []swapRecord) {
+	for k := len(records) - 1; k >= 0; k-- {
+		rec := records[k]
+		cur1, cur2 := r.edges[rec.i], r.edges[rec.j]
+		delete(r.present, r.key(cur1.From, cur1.To))
+		delete(r.present, r.key(cur2.From, cur2.To))
+		r.present[r.key(rec.oldI.From, rec.oldI.To)] = struct{}{}
+		r.present[r.key(rec.oldJ.From, rec.oldJ.To)] = struct{}{}
+		r.edges[rec.i], r.edges[rec.j] = rec.oldI, rec.oldJ
+	}
+}
+
+// build materializes the current edge list as an immutable graph with the
+// same external IDs as the source graph.
+func (r *rewirer) build(src *graph.Graph) (*graph.Graph, error) {
+	b := graph.NewBuilder(r.directed)
+	for v := 0; v < src.NumVertices(); v++ {
+		b.AddVertex(src.ExternalID(graph.VID(v)))
+	}
+	for _, e := range r.edges {
+		b.AddEdge(src.ExternalID(e.From), src.ExternalID(e.To))
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("materialize rewired graph: %w", err)
+	}
+	return g, nil
+}
+
+// Rewire returns a randomized copy of g with the identical per-vertex
+// degree sequence, produced by swapsPerEdge·m attempted double-edge swaps.
+// swapsPerEdge around 5–10 is sufficient to decorrelate from the original
+// topology on social graphs.
+func Rewire(g *graph.Graph, swapsPerEdge float64, rng *rand.Rand) (*graph.Graph, error) {
+	if rng == nil {
+		return nil, ErrNoRNG
+	}
+	r := newRewirer(g)
+	m := len(r.edges)
+	if m < 2 {
+		return r.build(g)
+	}
+	attempts := int(swapsPerEdge * float64(m))
+	for k := 0; k < attempts; k++ {
+		r.trySwap(rng.Intn(m), rng.Intn(m), rng)
+	}
+	return r.build(g)
+}
+
+// RewireConnected behaves like Rewire but preserves weak connectivity via
+// the Viger–Latapy windowed strategy: swaps are applied in windows, and a
+// window leaving the graph disconnected is rolled back wholesale. g must
+// be connected.
+func RewireConnected(g *graph.Graph, swapsPerEdge float64, rng *rand.Rand) (*graph.Graph, error) {
+	if rng == nil {
+		return nil, ErrNoRNG
+	}
+	if !graphalgo.IsConnected(g) {
+		return nil, errors.New("nullmodel: RewireConnected requires a connected graph")
+	}
+	r := newRewirer(g)
+	m := len(r.edges)
+	if m < 2 {
+		return r.build(g)
+	}
+	attempts := int(swapsPerEdge * float64(m))
+	window := m / 10
+	if window < 8 {
+		window = 8
+	}
+	records := make([]swapRecord, 0, window)
+	for done := 0; done < attempts; {
+		records = records[:0]
+		for k := 0; k < window && done < attempts; k++ {
+			done++
+			if rec, ok := r.trySwap(rng.Intn(m), rng.Intn(m), rng); ok {
+				records = append(records, rec)
+			}
+		}
+		if len(records) == 0 {
+			continue
+		}
+		if !r.connected() {
+			r.undo(records)
+		}
+	}
+	return r.build(g)
+}
+
+// connected checks weak connectivity of the current edge list with a
+// union-find pass, avoiding a full graph rebuild per window.
+func (r *rewirer) connected() bool {
+	parent := make([]int32, r.n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	comps := r.n
+	for _, e := range r.edges {
+		a, b := find(int32(e.From)), find(int32(e.To))
+		if a != b {
+			parent[a] = b
+			comps--
+		}
+	}
+	return comps == 1
+}
+
+// FromDegreeSequence constructs a simple undirected graph realizing the
+// degree sequence via Havel–Hakimi, then randomizes it with swapsPerEdge
+// double-edge swaps. Vertices receive external IDs 0..n-1 matching the
+// sequence positions.
+func FromDegreeSequence(deg []int, swapsPerEdge float64, rng *rand.Rand) (*graph.Graph, error) {
+	if rng == nil {
+		return nil, ErrNoRNG
+	}
+	base, err := havelHakimi(deg)
+	if err != nil {
+		return nil, err
+	}
+	return Rewire(base, swapsPerEdge, rng)
+}
+
+// havelHakimi deterministically realizes an undirected degree sequence or
+// reports it non-graphical.
+func havelHakimi(deg []int) (*graph.Graph, error) {
+	type node struct {
+		id  int
+		rem int
+	}
+	nodes := make([]node, len(deg))
+	var sum int
+	for i, d := range deg {
+		if d < 0 || d >= len(deg) {
+			return nil, fmt.Errorf("%w: degree %d at position %d", ErrNotGraphical, d, i)
+		}
+		nodes[i] = node{id: i, rem: d}
+		sum += d
+	}
+	if sum%2 != 0 {
+		return nil, fmt.Errorf("%w: odd degree sum %d", ErrNotGraphical, sum)
+	}
+
+	b := graph.NewBuilder(false)
+	for i := range deg {
+		b.AddVertex(int64(i))
+	}
+	for {
+		sort.Slice(nodes, func(i, j int) bool {
+			if nodes[i].rem != nodes[j].rem {
+				return nodes[i].rem > nodes[j].rem
+			}
+			return nodes[i].id < nodes[j].id
+		})
+		if nodes[0].rem == 0 {
+			break
+		}
+		d := nodes[0].rem
+		if d >= len(nodes) {
+			return nil, fmt.Errorf("%w: residual degree %d too large", ErrNotGraphical, d)
+		}
+		nodes[0].rem = 0
+		for k := 1; k <= d; k++ {
+			if nodes[k].rem == 0 {
+				return nil, fmt.Errorf("%w: ran out of attachable vertices", ErrNotGraphical)
+			}
+			nodes[k].rem--
+			b.AddEdge(int64(nodes[0].id), int64(nodes[k].id))
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("havel-hakimi build: %w", err)
+	}
+	return g, nil
+}
+
+// EmpiricalExpectation generates `samples` degree-preserving random
+// graphs and returns an estimator of E(m_C): the mean internal edge count
+// of a vertex set across the samples. This is the empirical counterpart
+// of Context.ChungLuExpectation and plugs directly into
+// score.Context.NullExpectation.
+func EmpiricalExpectation(g *graph.Graph, samples int, swapsPerEdge float64, rng *rand.Rand) (func(set *graph.Set) float64, error) {
+	if rng == nil {
+		return nil, ErrNoRNG
+	}
+	if samples < 1 {
+		return nil, errors.New("nullmodel: need at least one sample")
+	}
+	randoms := make([]*graph.Graph, samples)
+	for i := range randoms {
+		rg, err := Rewire(g, swapsPerEdge, rng)
+		if err != nil {
+			return nil, fmt.Errorf("sample %d: %w", i, err)
+		}
+		randoms[i] = rg
+	}
+	return func(set *graph.Set) float64 {
+		var total float64
+		for _, rg := range randoms {
+			cut := graph.Cut(rg, set)
+			total += float64(cut.Internal)
+		}
+		return total / float64(len(randoms))
+	}, nil
+}

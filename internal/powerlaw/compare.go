@@ -1,0 +1,185 @@
+package powerlaw
+
+import (
+	"fmt"
+	"math"
+)
+
+// LRTest is the outcome of a Vuong log-likelihood-ratio test between two
+// candidate models on the same tail data.
+type LRTest struct {
+	ModelA, ModelB string
+	// R is the total log-likelihood difference Σ ln pA(x) − ln pB(x);
+	// positive favours model A.
+	R float64
+	// Z is the normalized statistic R / (σ·√n).
+	Z float64
+	// PValue is the two-sided p-value of Z under the null that both
+	// models fit equally well. Small p-values make the sign of R
+	// meaningful.
+	PValue float64
+}
+
+// Winner names the favoured model, or "undecided" when the test is not
+// significant at the 0.1 level used by Clauset et al.
+func (t LRTest) Winner() string {
+	if t.PValue > 0.1 || t.R == 0 {
+		return "undecided"
+	}
+	if t.R > 0 {
+		return t.ModelA
+	}
+	return t.ModelB
+}
+
+// LogLikelihoodRatio runs the Vuong test between two fitted models over
+// the data restricted to the larger of the two xmin cutoffs, so both
+// models are evaluated on identical points.
+func LogLikelihoodRatio(a, b Dist, data []int) (LRTest, error) {
+	xmin := a.Xmin()
+	if b.Xmin() > xmin {
+		xmin = b.Xmin()
+	}
+	t := tail(data, xmin)
+	if len(t) == 0 {
+		return LRTest{}, ErrEmptyTail
+	}
+	n := float64(len(t))
+	diffs := make([]float64, len(t))
+	var r float64
+	for i, x := range t {
+		d := a.LogProb(x) - b.LogProb(x)
+		diffs[i] = d
+		r += d
+	}
+	mean := r / n
+	var ss float64
+	for _, d := range diffs {
+		ss += (d - mean) * (d - mean)
+	}
+	sigma := math.Sqrt(ss / n)
+	out := LRTest{ModelA: a.Name(), ModelB: b.Name(), R: r}
+	if sigma == 0 {
+		// Identical pointwise likelihoods: no evidence either way.
+		out.PValue = 1
+		return out, nil
+	}
+	out.Z = r / (sigma * math.Sqrt(n))
+	out.PValue = math.Erfc(math.Abs(out.Z) / math.Sqrt2)
+	return out, nil
+}
+
+// FitResult bundles the three model fits on a common xmin along with the
+// pairwise likelihood-ratio tests and the overall verdict.
+type FitResult struct {
+	Xmin        int
+	PowerLaw    *PowerLaw
+	LogNormal   *LogNormal
+	Exponential *Exponential
+
+	// KS distances of each model on the tail.
+	KSPowerLaw    float64
+	KSLogNormal   float64
+	KSExponential float64
+
+	// Pairwise Vuong tests.
+	PLvsLN  LRTest
+	PLvsExp LRTest
+	LNvsExp LRTest
+
+	// Best is the model family favoured by the decision rule (see Fit).
+	Best string
+}
+
+// Fit runs the full CSN pipeline on a discrete sample (e.g. a degree
+// sequence): select xmin by KS minimization of the power-law fit, fit all
+// three models at that cutoff, run pairwise likelihood-ratio tests and
+// pick the best model. The decision rule follows standard practice:
+// among the models, the one that wins its significant pairwise tests is
+// chosen; ties fall back to the smallest KS distance.
+func Fit(data []int) (*FitResult, error) {
+	xmin, err := FindXmin(data, 0)
+	if err != nil {
+		return nil, fmt.Errorf("xmin scan: %w", err)
+	}
+	return FitAt(data, xmin)
+}
+
+// FitAt runs the same pipeline with an explicit xmin cutoff.
+func FitAt(data []int, xmin int) (*FitResult, error) {
+	pl, err := FitPowerLaw(data, xmin)
+	if err != nil {
+		return nil, fmt.Errorf("power-law fit: %w", err)
+	}
+	ln, err := FitLogNormal(data, xmin)
+	if err != nil {
+		return nil, fmt.Errorf("log-normal fit: %w", err)
+	}
+	exp, err := FitExponential(data, xmin)
+	if err != nil {
+		return nil, fmt.Errorf("exponential fit: %w", err)
+	}
+	res := &FitResult{Xmin: xmin, PowerLaw: pl, LogNormal: ln, Exponential: exp}
+
+	if res.KSPowerLaw, err = ksStatistic(pl, data); err != nil {
+		return nil, fmt.Errorf("power-law KS: %w", err)
+	}
+	if res.KSLogNormal, err = ksStatistic(ln, data); err != nil {
+		return nil, fmt.Errorf("log-normal KS: %w", err)
+	}
+	if res.KSExponential, err = ksStatistic(exp, data); err != nil {
+		return nil, fmt.Errorf("exponential KS: %w", err)
+	}
+
+	if res.PLvsLN, err = LogLikelihoodRatio(pl, ln, data); err != nil {
+		return nil, err
+	}
+	if res.PLvsExp, err = LogLikelihoodRatio(pl, exp, data); err != nil {
+		return nil, err
+	}
+	if res.LNvsExp, err = LogLikelihoodRatio(ln, exp, data); err != nil {
+		return nil, err
+	}
+
+	res.Best = decide(res)
+	return res, nil
+}
+
+// decide picks the winning family from pairwise tests with a KS
+// tie-breaker.
+func decide(r *FitResult) string {
+	wins := map[string]int{}
+	for _, t := range []LRTest{r.PLvsLN, r.PLvsExp, r.LNvsExp} {
+		if w := t.Winner(); w != "undecided" {
+			wins[w]++
+		}
+	}
+	best, bestWins := "", -1
+	for _, name := range []string{"power-law", "log-normal", "exponential"} {
+		if wins[name] > bestWins {
+			best, bestWins = name, wins[name]
+		}
+	}
+	if bestWins > 0 {
+		// Verify the candidate did not also lose a significant test to a
+		// same-win-count rival; fall back to KS if ambiguous.
+		ambiguous := false
+		for _, name := range []string{"power-law", "log-normal", "exponential"} {
+			if name != best && wins[name] == bestWins {
+				ambiguous = true
+			}
+		}
+		if !ambiguous {
+			return best
+		}
+	}
+	// Undecided everywhere: smallest KS distance wins.
+	best, bestKS := "power-law", r.KSPowerLaw
+	if r.KSLogNormal < bestKS {
+		best, bestKS = "log-normal", r.KSLogNormal
+	}
+	if r.KSExponential < bestKS {
+		best = "exponential"
+	}
+	return best
+}

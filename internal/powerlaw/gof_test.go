@@ -1,0 +1,73 @@
+package powerlaw
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestGoodnessOfFitAcceptsTruePowerLaw(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	data := SamplePowerLaw(3000, 2.4, 3, rng)
+	fit, err := FitPowerLaw(data, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gof, err := GoodnessOfFit(data, fit, 60, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gof.Plausible() {
+		t.Errorf("true power law rejected: p=%v ks=%v", gof.PValue, gof.KS)
+	}
+}
+
+func TestGoodnessOfFitRejectsExponentialData(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	data := SampleExponential(3000, 0.08, 1, rng)
+	fit, err := FitPowerLaw(data, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gof, err := GoodnessOfFit(data, fit, 60, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gof.Plausible() {
+		t.Errorf("power law accepted on exponential data: p=%v", gof.PValue)
+	}
+}
+
+func TestGoodnessOfFitValidation(t *testing.T) {
+	fit := NewPowerLaw(2.5, 1)
+	if _, err := GoodnessOfFit([]int{1, 2, 3}, fit, 10, nil); !errors.Is(err, ErrNoRNG) {
+		t.Errorf("err = %v, want ErrNoRNG", err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if _, err := GoodnessOfFit([]int{1, 2, 3}, fit, 0, rng); err == nil {
+		t.Error("replicates=0 accepted")
+	}
+	highCut := NewPowerLaw(2.5, 100)
+	if _, err := GoodnessOfFit([]int{1, 2, 3}, highCut, 10, rng); !errors.Is(err, ErrEmptyTail) {
+		t.Errorf("err = %v, want ErrEmptyTail", err)
+	}
+}
+
+func TestGoodnessOfFitPValueRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	data := SamplePowerLaw(500, 2.0, 1, rng)
+	fit, err := FitPowerLaw(data, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gof, err := GoodnessOfFit(data, fit, 25, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gof.PValue < 0 || gof.PValue > 1 {
+		t.Errorf("p-value %v outside [0,1]", gof.PValue)
+	}
+	if gof.Replicates != 25 {
+		t.Errorf("replicates = %d, want 25", gof.Replicates)
+	}
+}

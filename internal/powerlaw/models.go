@@ -1,0 +1,286 @@
+package powerlaw
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PowerLaw is the discrete power law p(x) = x^(−α) / ζ(α, xmin).
+type PowerLaw struct {
+	Alpha   float64
+	XminVal int
+	zeta    float64 // ζ(alpha, xmin), cached normalizer
+}
+
+var _ Dist = (*PowerLaw)(nil)
+
+// NewPowerLaw constructs the model with an explicit exponent.
+func NewPowerLaw(alpha float64, xmin int) *PowerLaw {
+	return &PowerLaw{Alpha: alpha, XminVal: xmin, zeta: hurwitzZeta(alpha, float64(xmin))}
+}
+
+// Name implements Dist.
+func (p *PowerLaw) Name() string { return "power-law" }
+
+// Xmin implements Dist.
+func (p *PowerLaw) Xmin() int { return p.XminVal }
+
+// LogProb implements Dist.
+func (p *PowerLaw) LogProb(x int) float64 {
+	if x < p.XminVal {
+		return math.Inf(-1)
+	}
+	return -p.Alpha*math.Log(float64(x)) - math.Log(p.zeta)
+}
+
+// CDF implements Dist: 1 − ζ(α, x+1)/ζ(α, xmin).
+func (p *PowerLaw) CDF(x int) float64 {
+	if x < p.XminVal {
+		return 0
+	}
+	return 1 - hurwitzZeta(p.Alpha, float64(x+1))/p.zeta
+}
+
+// Params implements Dist.
+func (p *PowerLaw) Params() map[string]float64 {
+	return map[string]float64{"alpha": p.Alpha}
+}
+
+// FitPowerLaw fits α by exact discrete maximum likelihood (golden-section
+// search over α ∈ (1.01, 6]) on the tail of the data at the given xmin.
+func FitPowerLaw(data []int, xmin int) (*PowerLaw, error) {
+	t := tail(data, xmin)
+	if len(t) == 0 {
+		return nil, ErrEmptyTail
+	}
+	var logSum float64
+	allMin := true
+	for _, x := range t {
+		logSum += math.Log(float64(x))
+		if x != xmin {
+			allMin = false
+		}
+	}
+	if allMin {
+		return nil, fmt.Errorf("%w: all tail values equal %d", ErrDegenerate, xmin)
+	}
+	n := float64(len(t))
+	ll := func(alpha float64) float64 {
+		return -alpha*logSum - n*math.Log(hurwitzZeta(alpha, float64(xmin)))
+	}
+	alpha := goldenSection(ll, 1.01, 6.0, 1e-4)
+	return NewPowerLaw(alpha, xmin), nil
+}
+
+// LogNormal is a discretized, tail-conditioned log-normal:
+// P(X=x) ∝ Φ((ln(x+½)−μ)/σ) − Φ((ln(x−½)−μ)/σ) for x ≥ xmin.
+type LogNormal struct {
+	Mu      float64
+	Sigma   float64
+	XminVal int
+	tailP   float64 // P(X >= xmin) under the continuous model
+}
+
+var _ Dist = (*LogNormal)(nil)
+
+// NewLogNormal constructs the model with explicit parameters.
+func NewLogNormal(mu, sigma float64, xmin int) *LogNormal {
+	ln := &LogNormal{Mu: mu, Sigma: sigma, XminVal: xmin}
+	ln.tailP = 1 - ln.contCDF(float64(xmin)-0.5)
+	return ln
+}
+
+// contCDF is the continuous log-normal CDF at v (0 for v <= 0).
+func (l *LogNormal) contCDF(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return stdNormCDF((math.Log(v) - l.Mu) / l.Sigma)
+}
+
+// Name implements Dist.
+func (l *LogNormal) Name() string { return "log-normal" }
+
+// Xmin implements Dist.
+func (l *LogNormal) Xmin() int { return l.XminVal }
+
+// LogProb implements Dist.
+func (l *LogNormal) LogProb(x int) float64 {
+	if x < l.XminVal || l.tailP <= 0 {
+		return math.Inf(-1)
+	}
+	p := l.contCDF(float64(x)+0.5) - l.contCDF(float64(x)-0.5)
+	if p <= 0 {
+		// Deep tail underflow: fall back to the log of the density
+		// approximation to keep likelihood comparisons finite.
+		z := (math.Log(float64(x)) - l.Mu) / l.Sigma
+		return -0.5*z*z - math.Log(float64(x)*l.Sigma*math.Sqrt(2*math.Pi)) - math.Log(l.tailP)
+	}
+	return math.Log(p) - math.Log(l.tailP)
+}
+
+// CDF implements Dist.
+func (l *LogNormal) CDF(x int) float64 {
+	if x < l.XminVal || l.tailP <= 0 {
+		return 0
+	}
+	lo := l.contCDF(float64(l.XminVal) - 0.5)
+	return (l.contCDF(float64(x)+0.5) - lo) / l.tailP
+}
+
+// Params implements Dist.
+func (l *LogNormal) Params() map[string]float64 {
+	return map[string]float64{"mu": l.Mu, "sigma": l.Sigma}
+}
+
+// FitLogNormal fits (μ, σ) by maximum likelihood on the tail using
+// alternating golden-section sweeps (coordinate ascent), initialized from
+// the moments of ln(x).
+func FitLogNormal(data []int, xmin int) (*LogNormal, error) {
+	t := tail(data, xmin)
+	if len(t) == 0 {
+		return nil, ErrEmptyTail
+	}
+	var sum, sumSq float64
+	for _, x := range t {
+		lx := math.Log(float64(x))
+		sum += lx
+		sumSq += lx * lx
+	}
+	n := float64(len(t))
+	mu := sum / n
+	sigma := math.Sqrt(math.Max(sumSq/n-mu*mu, 1e-4))
+
+	ll := func(mu, sigma float64) float64 {
+		m := NewLogNormal(mu, sigma, xmin)
+		var total float64
+		for _, x := range t {
+			total += m.LogProb(x)
+		}
+		return total
+	}
+	for iter := 0; iter < 6; iter++ {
+		mu = goldenSection(func(m float64) float64 { return ll(m, sigma) }, mu-3*sigma-1, mu+3*sigma+1, 1e-4)
+		sigma = goldenSection(func(s float64) float64 { return ll(mu, s) }, 0.05, 4*sigma+1, 1e-4)
+	}
+	return NewLogNormal(mu, sigma, xmin), nil
+}
+
+// Exponential is the discrete (geometric-type) exponential tail
+// P(X=x) = (1 − e^(−λ)) · e^(−λ(x−xmin)) for x ≥ xmin.
+type Exponential struct {
+	Lambda  float64
+	XminVal int
+}
+
+var _ Dist = (*Exponential)(nil)
+
+// NewExponential constructs the model with an explicit rate.
+func NewExponential(lambda float64, xmin int) *Exponential {
+	return &Exponential{Lambda: lambda, XminVal: xmin}
+}
+
+// Name implements Dist.
+func (e *Exponential) Name() string { return "exponential" }
+
+// Xmin implements Dist.
+func (e *Exponential) Xmin() int { return e.XminVal }
+
+// LogProb implements Dist.
+func (e *Exponential) LogProb(x int) float64 {
+	if x < e.XminVal {
+		return math.Inf(-1)
+	}
+	return math.Log(1-math.Exp(-e.Lambda)) - e.Lambda*float64(x-e.XminVal)
+}
+
+// CDF implements Dist: 1 − e^(−λ(x−xmin+1)).
+func (e *Exponential) CDF(x int) float64 {
+	if x < e.XminVal {
+		return 0
+	}
+	return 1 - math.Exp(-e.Lambda*float64(x-e.XminVal+1))
+}
+
+// Params implements Dist.
+func (e *Exponential) Params() map[string]float64 {
+	return map[string]float64{"lambda": e.Lambda}
+}
+
+// FitExponential fits λ by exact maximum likelihood: with mean excess
+// m̄ = mean(x − xmin), the MLE is λ = ln(1 + 1/m̄).
+func FitExponential(data []int, xmin int) (*Exponential, error) {
+	t := tail(data, xmin)
+	if len(t) == 0 {
+		return nil, ErrEmptyTail
+	}
+	var excess float64
+	for _, x := range t {
+		excess += float64(x - xmin)
+	}
+	mean := excess / float64(len(t))
+	if mean == 0 {
+		return nil, fmt.Errorf("%w: all tail values equal %d", ErrDegenerate, xmin)
+	}
+	return NewExponential(math.Log(1+1/mean), xmin), nil
+}
+
+// FindXmin scans candidate cutoffs (the distinct data values up to the
+// 90th percentile) and returns the xmin minimizing the KS distance of the
+// power-law fit, per the CSN procedure. maxCandidates bounds the scan for
+// very diverse data; pass 0 for the default of 50.
+func FindXmin(data []int, maxCandidates int) (int, error) {
+	if len(data) == 0 {
+		return 0, ErrEmptyTail
+	}
+	if maxCandidates <= 0 {
+		maxCandidates = 50
+	}
+	distinct := map[int]struct{}{}
+	for _, x := range data {
+		if x >= 1 {
+			distinct[x] = struct{}{}
+		}
+	}
+	if len(distinct) == 0 {
+		return 0, ErrEmptyTail
+	}
+	candidates := make([]int, 0, len(distinct))
+	for x := range distinct {
+		candidates = append(candidates, x)
+	}
+	sort.Ints(candidates)
+	// Keep the tail identifiable: drop the top decile of candidates.
+	if cut := (len(candidates)*9 + 9) / 10; cut >= 1 && cut < len(candidates) {
+		candidates = candidates[:cut]
+	}
+	if len(candidates) > maxCandidates {
+		// Evenly subsample the candidate list.
+		step := float64(len(candidates)) / float64(maxCandidates)
+		picked := make([]int, 0, maxCandidates)
+		for i := 0; i < maxCandidates; i++ {
+			picked = append(picked, candidates[int(float64(i)*step)])
+		}
+		candidates = picked
+	}
+
+	bestXmin, bestKS := 0, math.Inf(1)
+	for _, xm := range candidates {
+		fit, err := FitPowerLaw(data, xm)
+		if err != nil {
+			continue
+		}
+		ks, err := ksStatistic(fit, data)
+		if err != nil {
+			continue
+		}
+		if ks < bestKS {
+			bestKS, bestXmin = ks, xm
+		}
+	}
+	if bestXmin == 0 {
+		return 0, ErrDegenerate
+	}
+	return bestXmin, nil
+}

@@ -1,0 +1,53 @@
+package report
+
+import (
+	"errors"
+	"testing"
+
+	"gpluscircles/internal/stats"
+)
+
+// errWriter fails after N bytes, exercising the write-error paths.
+type errWriter struct {
+	remaining int
+}
+
+var errWriterFull = errors.New("writer full")
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if len(p) > w.remaining {
+		n := w.remaining
+		w.remaining = 0
+		return n, errWriterFull
+	}
+	w.remaining -= len(p)
+	return len(p), nil
+}
+
+func TestTableRenderWriteError(t *testing.T) {
+	tbl := NewTable("T", "A", "B")
+	tbl.AddRow("1", "2")
+	if err := tbl.Render(&errWriter{remaining: 3}); err == nil {
+		t.Error("short writer accepted")
+	}
+}
+
+func TestWriteCSVWriteError(t *testing.T) {
+	series := []Series{{Name: "s", X: []float64{1, 2, 3}, Y: []float64{1, 2, 3}}}
+	for _, budget := range []int{0, 10, 15} {
+		if err := WriteCSV(&errWriter{remaining: budget}, series); err == nil {
+			t.Errorf("budget %d: short writer accepted", budget)
+		}
+	}
+}
+
+func TestAsciiPlotWriteError(t *testing.T) {
+	c, err := stats.NewCDF([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = AsciiPlot(&errWriter{remaining: 5}, PlotConfig{}, []Series{CDFSeries("s", c)})
+	if err == nil {
+		t.Error("short writer accepted")
+	}
+}

@@ -1,0 +1,264 @@
+// Package report renders the evaluation's tables and figures: aligned
+// text tables, CSV series files for external plotting, and ASCII
+// renditions of the paper's CDF and log-log figures for terminal output.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"gpluscircles/internal/stats"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			sb.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, sb.String())
+	if err != nil {
+		return fmt.Errorf("render table: %w", err)
+	}
+	return nil
+}
+
+// Series is one named line of (x, y) points in a figure.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// CDFSeries converts an empirical CDF to a plot series.
+func CDFSeries(name string, c stats.CDF) Series {
+	return Series{Name: name, X: c.X, Y: c.Y}
+}
+
+// WriteCSV writes all series as long-format CSV: series,x,y.
+func WriteCSV(w io.Writer, series []Series) error {
+	if _, err := fmt.Fprintln(w, "series,x,y"); err != nil {
+		return fmt.Errorf("csv header: %w", err)
+	}
+	for _, s := range series {
+		for i := range s.X {
+			if _, err := fmt.Fprintf(w, "%s,%g,%g\n", s.Name, s.X[i], s.Y[i]); err != nil {
+				return fmt.Errorf("csv row: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// PlotConfig controls ASCII rendering.
+type PlotConfig struct {
+	Title  string
+	Width  int // plot columns (default 72)
+	Height int // plot rows (default 18)
+	LogX   bool
+	LogY   bool
+	XLabel string
+	YLabel string
+}
+
+// markers assigns one rune per series, cycling if needed.
+var markers = []rune{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// AsciiPlot renders series as a scatter/step plot in ASCII. Points
+// outside a log axis (x <= 0 with LogX) are skipped.
+func AsciiPlot(w io.Writer, cfg PlotConfig, series []Series) error {
+	width, height := cfg.Width, cfg.Height
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 18
+	}
+
+	tx := func(v float64) (float64, bool) {
+		if cfg.LogX {
+			if v <= 0 {
+				return 0, false
+			}
+			return math.Log10(v), true
+		}
+		return v, true
+	}
+	ty := func(v float64) (float64, bool) {
+		if cfg.LogY {
+			if v <= 0 {
+				return 0, false
+			}
+			return math.Log10(v), true
+		}
+		return v, true
+	}
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		for i := range s.X {
+			x, okx := tx(s.X[i])
+			y, oky := ty(s.Y[i])
+			if !okx || !oky {
+				continue
+			}
+			any = true
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if !any {
+		return fmt.Errorf("ascii plot %q: no drawable points", cfg.Title)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = make([]rune, width)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		for i := range s.X {
+			x, okx := tx(s.X[i])
+			y, oky := ty(s.Y[i])
+			if !okx || !oky {
+				continue
+			}
+			col := int((x - minX) / (maxX - minX) * float64(width-1))
+			row := height - 1 - int((y-minY)/(maxY-minY)*float64(height-1))
+			grid[row][col] = mark
+		}
+	}
+
+	var sb strings.Builder
+	if cfg.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", cfg.Title)
+	}
+	for si, s := range series {
+		fmt.Fprintf(&sb, "  %c %s", markers[si%len(markers)], s.Name)
+	}
+	sb.WriteByte('\n')
+	yTop, yBot := maxY, minY
+	if cfg.LogY {
+		yTop, yBot = math.Pow(10, maxY), math.Pow(10, minY)
+	}
+	fmt.Fprintf(&sb, "%10.3g +%s\n", yTop, strings.Repeat("-", width))
+	for r := 0; r < height; r++ {
+		fmt.Fprintf(&sb, "%10s |%s\n", "", string(grid[r]))
+	}
+	xLeft, xRight := minX, maxX
+	if cfg.LogX {
+		xLeft, xRight = math.Pow(10, minX), math.Pow(10, maxX)
+	}
+	fmt.Fprintf(&sb, "%10.3g +%s\n", yBot, strings.Repeat("-", width))
+	fmt.Fprintf(&sb, "%10s  %-10.3g%s%10.3g\n", "",
+		xLeft, strings.Repeat(" ", max(0, width-20)), xRight)
+	if cfg.XLabel != "" || cfg.YLabel != "" {
+		fmt.Fprintf(&sb, "%10s  x: %s    y: %s\n", "", cfg.XLabel, cfg.YLabel)
+	}
+	if _, err := io.WriteString(w, sb.String()); err != nil {
+		return fmt.Errorf("render plot: %w", err)
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Fmt formats a float compactly for table cells.
+func Fmt(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1000 || math.Abs(v) < 0.001:
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}
+
+// FmtInt formats an integer with thousands separators for table cells.
+func FmtInt(v int64) string {
+	s := fmt.Sprintf("%d", v)
+	neg := strings.HasPrefix(s, "-")
+	if neg {
+		s = s[1:]
+	}
+	var parts []string
+	for len(s) > 3 {
+		parts = append([]string{s[len(s)-3:]}, parts...)
+		s = s[:len(s)-3]
+	}
+	parts = append([]string{s}, parts...)
+	out := strings.Join(parts, ",")
+	if neg {
+		out = "-" + out
+	}
+	return out
+}

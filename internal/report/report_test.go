@@ -1,0 +1,131 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gpluscircles/internal/stats"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("Test Table", "Metric", "Value")
+	tbl.AddRow("vertices", "107,614")
+	tbl.AddRow("edges", "13,673,453")
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Test Table", "Metric", "vertices", "13,673,453"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tbl := NewTable("", "A", "B", "C")
+	tbl.AddRow("only-one")
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "only-one") {
+		t.Error("short row dropped")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	series := []Series{
+		{Name: "circles", X: []float64{1, 2}, Y: []float64{0.5, 1}},
+		{Name: "random", X: []float64{1}, Y: []float64{1}},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("csv lines = %d, want 4:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "series,x,y" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "circles,1,0.5" {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestAsciiPlotBasic(t *testing.T) {
+	c, err := stats.NewCDF([]float64{1, 2, 2, 3, 4, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err = AsciiPlot(&buf, PlotConfig{Title: "CDF test", XLabel: "score", YLabel: "P"},
+		[]Series{CDFSeries("sample", c)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "CDF test") || !strings.Contains(out, "sample") {
+		t.Errorf("plot missing title/legend:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Errorf("plot has no markers:\n%s", out)
+	}
+}
+
+func TestAsciiPlotLogAxes(t *testing.T) {
+	s := Series{Name: "deg", X: []float64{1, 10, 100, 1000}, Y: []float64{1000, 100, 10, 1}}
+	var buf bytes.Buffer
+	if err := AsciiPlot(&buf, PlotConfig{LogX: true, LogY: true}, []Series{s}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "*") {
+		t.Error("log plot has no markers")
+	}
+}
+
+func TestAsciiPlotRejectsEmptyLog(t *testing.T) {
+	s := Series{Name: "bad", X: []float64{-1, 0}, Y: []float64{1, 2}}
+	var buf bytes.Buffer
+	if err := AsciiPlot(&buf, PlotConfig{LogX: true}, []Series{s}); err == nil {
+		t.Error("plot with no drawable points accepted")
+	}
+}
+
+func TestAsciiPlotConstantSeries(t *testing.T) {
+	s := Series{Name: "flat", X: []float64{5, 5}, Y: []float64{1, 1}}
+	var buf bytes.Buffer
+	if err := AsciiPlot(&buf, PlotConfig{}, []Series{s}); err != nil {
+		t.Fatalf("constant series should render: %v", err)
+	}
+}
+
+func TestFmtHelpers(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"},
+		{0.5, "0.5"},
+		{1234567, "1.23e+06"},
+		{0.0001234, "0.000123"},
+	}
+	for _, tc := range cases {
+		if got := Fmt(tc.v); got != tc.want {
+			t.Errorf("Fmt(%v) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+	if got := FmtInt(13673453); got != "13,673,453" {
+		t.Errorf("FmtInt = %q", got)
+	}
+	if got := FmtInt(-1234); got != "-1,234" {
+		t.Errorf("FmtInt(-1234) = %q", got)
+	}
+	if got := FmtInt(12); got != "12" {
+		t.Errorf("FmtInt(12) = %q", got)
+	}
+}

@@ -1,0 +1,134 @@
+// Package sample draws vertex sets from a graph for baseline comparisons.
+// The paper's Fig. 5 compares circles against same-size vertex sets
+// obtained by random walks: "Starting from a randomly selected vertex, the
+// walk continues by selecting neighbors at random until sufficiently many
+// vertices are found. The walk is restarted whenever no new neighbour is
+// available."
+package sample
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"gpluscircles/internal/graph"
+)
+
+// ErrNoRNG is returned when a nil random source is supplied.
+var ErrNoRNG = errors.New("sample: nil RNG")
+
+// ErrBadSize is returned when a requested set size is non-positive or
+// exceeds the number of vertices.
+var ErrBadSize = errors.New("sample: set size out of range")
+
+// RandomWalkSet collects `size` distinct vertices by a neighbour-to-
+// neighbour random walk following the paper's procedure. Directed arcs
+// are walked in both directions (the walk explores connectivity, not
+// direction). When the walk reaches a vertex whose neighbours have all
+// been collected, it restarts from a fresh uniformly random vertex.
+func RandomWalkSet(g *graph.Graph, size int, rng *rand.Rand) ([]graph.VID, error) {
+	if rng == nil {
+		return nil, ErrNoRNG
+	}
+	n := g.NumVertices()
+	if size <= 0 || size > n {
+		return nil, ErrBadSize
+	}
+
+	collected := graph.NewSet(n)
+	cur := graph.VID(rng.Intn(n))
+	collected.Add(cur)
+
+	// fresh holds unvisited neighbours of the current vertex, reused
+	// across steps.
+	fresh := make([]graph.VID, 0, 64)
+	for collected.Len() < size {
+		fresh = fresh[:0]
+		for _, v := range g.OutNeighbors(cur) {
+			if !collected.Contains(v) {
+				fresh = append(fresh, v)
+			}
+		}
+		if g.Directed() {
+			for _, v := range g.InNeighbors(cur) {
+				if !collected.Contains(v) {
+					fresh = append(fresh, v)
+				}
+			}
+		}
+		if len(fresh) == 0 {
+			// Restart: jump to a uniformly random vertex (it may already
+			// be collected; keep drawing until an uncollected one shows
+			// up — guaranteed to exist since collected.Len() < size <= n).
+			for {
+				cand := graph.VID(rng.Intn(n))
+				if !collected.Contains(cand) {
+					cur = cand
+					break
+				}
+				// Also allow stepping through a collected vertex so the
+				// walk can escape saturated regions.
+				cur = cand
+				if adj := g.OutNeighbors(cur); len(adj) > 0 {
+					break
+				}
+			}
+			collected.Add(cur)
+			continue
+		}
+		cur = fresh[rng.Intn(len(fresh))]
+		collected.Add(cur)
+	}
+	members := make([]graph.VID, size)
+	copy(members, collected.Members()[:size])
+	return members, nil
+}
+
+// UniformSet draws `size` distinct vertices uniformly at random — the
+// ablation baseline contrasted with the paper's random-walk sets, which
+// are connectivity-biased.
+func UniformSet(g *graph.Graph, size int, rng *rand.Rand) ([]graph.VID, error) {
+	if rng == nil {
+		return nil, ErrNoRNG
+	}
+	n := g.NumVertices()
+	if size <= 0 || size > n {
+		return nil, ErrBadSize
+	}
+	// Partial Fisher–Yates over a fresh permutation buffer.
+	perm := rng.Perm(n)
+	members := make([]graph.VID, size)
+	for i := 0; i < size; i++ {
+		members[i] = graph.VID(perm[i])
+	}
+	return members, nil
+}
+
+// Sampler draws one vertex set of the given size.
+type Sampler func(g *graph.Graph, size int, rng *rand.Rand) ([]graph.VID, error)
+
+// MatchSizes draws one set per requested size using the sampler,
+// producing a size-matched baseline for a collection of groups (the
+// paper's "randomly selected sets from the graph with the same size as
+// the circles"). Sizes larger than the graph are clamped to n.
+func MatchSizes(g *graph.Graph, sizes []int, sampler Sampler, rng *rand.Rand) ([][]graph.VID, error) {
+	if rng == nil {
+		return nil, ErrNoRNG
+	}
+	out := make([][]graph.VID, 0, len(sizes))
+	n := g.NumVertices()
+	for i, size := range sizes {
+		if size > n {
+			size = n
+		}
+		if size <= 0 {
+			size = 1
+		}
+		set, err := sampler(g, size, rng)
+		if err != nil {
+			return nil, fmt.Errorf("sample %d (size %d): %w", i, size, err)
+		}
+		out = append(out, set)
+	}
+	return out, nil
+}

@@ -1,0 +1,187 @@
+package sample
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gpluscircles/internal/graph"
+)
+
+func ringGraph(t *testing.T, n int, directed bool) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(directed)
+	for i := 0; i < n; i++ {
+		b.AddEdge(int64(i), int64((i+1)%n))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func assertDistinct(t *testing.T, members []graph.VID) {
+	t.Helper()
+	seen := map[graph.VID]bool{}
+	for _, v := range members {
+		if seen[v] {
+			t.Fatalf("duplicate member %d in %v", v, members)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRandomWalkSetSizeAndDistinct(t *testing.T) {
+	g := ringGraph(t, 50, false)
+	rng := rand.New(rand.NewSource(1))
+	for _, size := range []int{1, 5, 25, 50} {
+		set, err := RandomWalkSet(g, size, rng)
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if len(set) != size {
+			t.Errorf("size %d: got %d members", size, len(set))
+		}
+		assertDistinct(t, set)
+	}
+}
+
+func TestRandomWalkSetDirected(t *testing.T) {
+	// A directed ring walked in both directions must still collect all.
+	g := ringGraph(t, 20, true)
+	set, err := RandomWalkSet(g, 20, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 20 {
+		t.Errorf("collected %d, want 20", len(set))
+	}
+}
+
+func TestRandomWalkSetRestartsAcrossComponents(t *testing.T) {
+	// Two disjoint edges: collecting 4 vertices requires a restart.
+	g, err := graph.FromEdges(false, [][2]int64{{0, 1}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := RandomWalkSet(g, 4, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 4 {
+		t.Errorf("collected %d, want 4", len(set))
+	}
+	assertDistinct(t, set)
+}
+
+func TestRandomWalkSetConnectivityBias(t *testing.T) {
+	// On a connected graph, a random-walk set (smaller than one
+	// component) should be internally connected far more often than a
+	// uniform set. Verify the walk's defining property: every non-seed
+	// member is adjacent to some earlier member, i.e. the set spans few
+	// components in the induced subgraph.
+	g := ringGraph(t, 100, false)
+	set, err := RandomWalkSet(g, 10, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A walk without restarts on a ring yields a contiguous arc: the
+	// induced subgraph has exactly size-1 edges.
+	s := graph.SetOf(g, set)
+	cut := graph.Cut(g, s)
+	if cut.Internal != int64(len(set)-1) {
+		t.Errorf("ring walk induced %d internal edges, want %d", cut.Internal, len(set)-1)
+	}
+}
+
+func TestUniformSet(t *testing.T) {
+	g := ringGraph(t, 30, false)
+	set, err := UniformSet(g, 10, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 10 {
+		t.Errorf("size = %d, want 10", len(set))
+	}
+	assertDistinct(t, set)
+}
+
+func TestSizeValidation(t *testing.T) {
+	g := ringGraph(t, 10, false)
+	rng := rand.New(rand.NewSource(6))
+	for _, size := range []int{0, -1, 11} {
+		if _, err := RandomWalkSet(g, size, rng); !errors.Is(err, ErrBadSize) {
+			t.Errorf("RandomWalkSet(size=%d) err = %v, want ErrBadSize", size, err)
+		}
+		if _, err := UniformSet(g, size, rng); !errors.Is(err, ErrBadSize) {
+			t.Errorf("UniformSet(size=%d) err = %v, want ErrBadSize", size, err)
+		}
+	}
+}
+
+func TestNilRNG(t *testing.T) {
+	g := ringGraph(t, 10, false)
+	if _, err := RandomWalkSet(g, 2, nil); !errors.Is(err, ErrNoRNG) {
+		t.Errorf("err = %v, want ErrNoRNG", err)
+	}
+	if _, err := UniformSet(g, 2, nil); !errors.Is(err, ErrNoRNG) {
+		t.Errorf("err = %v, want ErrNoRNG", err)
+	}
+	if _, err := MatchSizes(g, []int{2}, UniformSet, nil); !errors.Is(err, ErrNoRNG) {
+		t.Errorf("err = %v, want ErrNoRNG", err)
+	}
+}
+
+func TestMatchSizes(t *testing.T) {
+	g := ringGraph(t, 40, false)
+	sizes := []int{3, 7, 1, 100, 0} // oversized clamps to n, zero to 1
+	sets, err := MatchSizes(g, sizes, RandomWalkSet, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{3, 7, 1, 40, 1}
+	for i, s := range sets {
+		if len(s) != want[i] {
+			t.Errorf("set %d has size %d, want %d", i, len(s), want[i])
+		}
+	}
+}
+
+// Property: both samplers return exactly `size` distinct valid vertices.
+func TestQuickSamplers(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(40)
+		b := graph.NewBuilder(seed%2 == 0)
+		for i := 0; i < n; i++ {
+			b.AddEdge(int64(i), int64((i+1)%n))
+		}
+		for k := 0; k < n; k++ {
+			b.AddEdge(rng.Int63n(int64(n)), rng.Int63n(int64(n)))
+		}
+		g, err := b.Build()
+		if err != nil {
+			return true
+		}
+		size := 1 + rng.Intn(g.NumVertices())
+		for _, sampler := range []Sampler{RandomWalkSet, UniformSet} {
+			set, err := sampler(g, size, rng)
+			if err != nil || len(set) != size {
+				return false
+			}
+			seen := map[graph.VID]bool{}
+			for _, v := range set {
+				if v < 0 || int(v) >= g.NumVertices() || seen[v] {
+					return false
+				}
+				seen[v] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

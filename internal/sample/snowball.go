@@ -1,0 +1,73 @@
+package sample
+
+import (
+	"math/rand"
+
+	"gpluscircles/internal/graph"
+)
+
+// SnowballSet collects `size` distinct vertices by breadth-first
+// expansion from a random seed (snowball sampling): the seed's
+// neighbourhood is absorbed layer by layer, truncating the final layer
+// at random to hit the exact size. Directed arcs are expanded in both
+// directions. When a component is exhausted, expansion restarts from a
+// fresh random seed.
+//
+// Snowball sets are the most circle-like baseline available without
+// curation — they are exactly "a chunk of somebody's ego network" — so
+// comparing them against circles isolates what curation itself adds
+// (see the sampler ablation in internal/core).
+func SnowballSet(g *graph.Graph, size int, rng *rand.Rand) ([]graph.VID, error) {
+	if rng == nil {
+		return nil, ErrNoRNG
+	}
+	n := g.NumVertices()
+	if size <= 0 || size > n {
+		return nil, ErrBadSize
+	}
+
+	collected := graph.NewSet(n)
+	queue := make([]graph.VID, 0, size)
+
+	enqueue := func(v graph.VID) {
+		if collected.Len() < size && !collected.Contains(v) {
+			collected.Add(v)
+			queue = append(queue, v)
+		}
+	}
+
+	enqueue(graph.VID(rng.Intn(n)))
+	for head := 0; collected.Len() < size; head++ {
+		if head >= len(queue) {
+			// Component exhausted: restart from an uncollected vertex.
+			for {
+				cand := graph.VID(rng.Intn(n))
+				if !collected.Contains(cand) {
+					enqueue(cand)
+					break
+				}
+			}
+			continue
+		}
+		u := queue[head]
+		// Shuffle the neighbour visit order so final-layer truncation is
+		// unbiased.
+		neighbors := make([]graph.VID, 0, g.Degree(u))
+		neighbors = append(neighbors, g.OutNeighbors(u)...)
+		if g.Directed() {
+			neighbors = append(neighbors, g.InNeighbors(u)...)
+		}
+		rng.Shuffle(len(neighbors), func(i, j int) {
+			neighbors[i], neighbors[j] = neighbors[j], neighbors[i]
+		})
+		for _, v := range neighbors {
+			if collected.Len() >= size {
+				break
+			}
+			enqueue(v)
+		}
+	}
+	members := make([]graph.VID, size)
+	copy(members, collected.Members()[:size])
+	return members, nil
+}

@@ -1,0 +1,135 @@
+package sample
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gpluscircles/internal/graph"
+)
+
+func TestSnowballSetSizeAndDistinct(t *testing.T) {
+	g := ringGraph(t, 60, false)
+	rng := rand.New(rand.NewSource(9))
+	for _, size := range []int{1, 7, 30, 60} {
+		set, err := SnowballSet(g, size, rng)
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if len(set) != size {
+			t.Errorf("size %d: got %d", size, len(set))
+		}
+		assertDistinct(t, set)
+	}
+}
+
+func TestSnowballSetIsBall(t *testing.T) {
+	// On a ring, a snowball of size k without restarts is a contiguous
+	// arc: internal edges = k-1.
+	g := ringGraph(t, 100, false)
+	set, err := SnowballSet(g, 11, rand.New(rand.NewSource(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := graph.SetOf(g, set)
+	cut := graph.Cut(g, s)
+	if cut.Internal != 10 {
+		t.Errorf("ring snowball internal edges = %d, want 10", cut.Internal)
+	}
+}
+
+func TestSnowballSetRestarts(t *testing.T) {
+	g, err := graph.FromEdges(false, [][2]int64{{0, 1}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := SnowballSet(g, 4, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 4 {
+		t.Errorf("collected %d, want 4", len(set))
+	}
+}
+
+func TestSnowballSetValidation(t *testing.T) {
+	g := ringGraph(t, 10, false)
+	if _, err := SnowballSet(g, 0, rand.New(rand.NewSource(1))); !errors.Is(err, ErrBadSize) {
+		t.Errorf("err = %v, want ErrBadSize", err)
+	}
+	if _, err := SnowballSet(g, 2, nil); !errors.Is(err, ErrNoRNG) {
+		t.Errorf("err = %v, want ErrNoRNG", err)
+	}
+}
+
+func TestSnowballDenserThanRandomWalk(t *testing.T) {
+	// On a clustered graph, a BFS ball captures more internal edges than
+	// a meandering random walk of the same size.
+	b := graph.NewBuilder(false)
+	// 20 cliques of 6, chained.
+	for c := int64(0); c < 20; c++ {
+		base := c * 6
+		for i := base; i < base+6; i++ {
+			for j := i + 1; j < base+6; j++ {
+				b.AddEdge(i, j)
+			}
+		}
+		if c > 0 {
+			b.AddEdge(base-1, base)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	var snowInternal, walkInternal int64
+	for trial := 0; trial < 30; trial++ {
+		snow, err := SnowballSet(g, 6, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		walk, err := RandomWalkSet(g, 6, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snowInternal += graph.Cut(g, graph.SetOf(g, snow)).Internal
+		walkInternal += graph.Cut(g, graph.SetOf(g, walk)).Internal
+	}
+	if snowInternal <= walkInternal {
+		t.Errorf("snowball internal %d <= walk internal %d", snowInternal, walkInternal)
+	}
+}
+
+// Property: SnowballSet returns exactly `size` valid distinct vertices.
+func TestQuickSnowball(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(40)
+		b := graph.NewBuilder(seed%2 == 0)
+		for i := 0; i < n; i++ {
+			b.AddEdge(int64(i), int64((i+1)%n))
+		}
+		g, err := b.Build()
+		if err != nil {
+			return true
+		}
+		size := 1 + rng.Intn(g.NumVertices())
+		set, err := SnowballSet(g, size, rng)
+		if err != nil || len(set) != size {
+			return false
+		}
+		seen := map[graph.VID]bool{}
+		for _, v := range set {
+			if seen[v] || v < 0 || int(v) >= g.NumVertices() {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,100 @@
+package score
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gpluscircles/internal/graph"
+)
+
+// randomGroups draws k random groups over the graph.
+func randomGroups(rng *rand.Rand, g *graph.Graph, k int) []Group {
+	groups := make([]Group, k)
+	for i := range groups {
+		size := 1 + rng.Intn(8)
+		members := make([]graph.VID, 0, size)
+		seen := map[graph.VID]bool{}
+		for len(members) < size {
+			v := graph.VID(rng.Intn(g.NumVertices()))
+			if !seen[v] {
+				seen[v] = true
+				members = append(members, v)
+			}
+		}
+		groups[i] = Group{Name: "g", Members: members}
+	}
+	return groups
+}
+
+func TestEvaluateGroupsParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	edges := make([][2]int64, 400)
+	for i := range edges {
+		edges[i] = [2]int64{rng.Int63n(60), rng.Int63n(60)}
+	}
+	g, err := graph.FromEdges(true, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := randomGroups(rng, g, 40)
+	fns := AllFuncs()
+	ctx := NewContext(g)
+
+	serial := EvaluateGroups(ctx, groups, fns)
+	for _, workers := range []int{0, 1, 2, 7} {
+		parallel := EvaluateGroupsParallel(NewContext(g), groups, fns, workers)
+		for _, f := range fns {
+			for i := range groups {
+				if serial[f.Name][i] != parallel[f.Name][i] {
+					t.Fatalf("workers=%d: %s[%d] = %v, serial %v",
+						workers, f.Name, i, parallel[f.Name][i], serial[f.Name][i])
+				}
+			}
+		}
+	}
+}
+
+func TestEvaluateGroupsParallelEmpty(t *testing.T) {
+	g, err := graph.FromEdges(true, [][2]int64{{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := EvaluateGroupsParallel(NewContext(g), nil, PaperFuncs(), 4)
+	for name, scores := range out {
+		if len(scores) != 0 {
+			t.Errorf("%s has %d scores for no groups", name, len(scores))
+		}
+	}
+}
+
+// Property: parallel evaluation is deterministic and equal to serial for
+// arbitrary graphs and worker counts.
+func TestQuickParallelEqualsSerial(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		edges := make([][2]int64, 60)
+		for i := range edges {
+			edges[i] = [2]int64{rng.Int63n(20), rng.Int63n(20)}
+		}
+		g, err := graph.FromEdges(seed%2 == 0, edges)
+		if err != nil {
+			return true
+		}
+		groups := randomGroups(rng, g, 1+rng.Intn(12))
+		fns := PaperFuncs()
+		serial := EvaluateGroups(NewContext(g), groups, fns)
+		parallel := EvaluateGroupsParallel(NewContext(g), groups, fns, 1+rng.Intn(8))
+		for _, f := range fns {
+			for i := range groups {
+				if serial[f.Name][i] != parallel[f.Name][i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,188 @@
+// Package score implements community scoring functions over vertex sets,
+// following Section V of the paper. It provides the paper's four primary
+// functions — Average Degree, Ratio Cut, Conductance, and Modularity —
+// plus the wider Yang–Leskovec battery of community metrics the paper's
+// methodology is based on.
+//
+// All functions share a Context holding the host graph and lazily
+// computed global statistics, evaluate against a graph.Set with its
+// precomputed graph.CutStats, and return a float64 score. Extremal values
+// indicate community-like structure, with the direction depending on the
+// function (documented per function).
+package score
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"gpluscircles/internal/graph"
+)
+
+// ErrUnknownFunc is returned when a scoring function name is not
+// registered.
+var ErrUnknownFunc = errors.New("score: unknown scoring function")
+
+// Context carries the host graph and shared statistics for scoring many
+// groups on the same graph. Create with NewContext; the zero value is not
+// usable.
+type Context struct {
+	G *graph.Graph
+
+	// NullExpectation returns E(m_C), the expected number of internal
+	// edges of the set under the Newman–Girvan null model (a random graph
+	// with the same degree sequence). NewContext installs the analytic
+	// Chung–Lu expectation; callers may replace it with an empirical
+	// estimator built from Viger–Latapy samples (see package nullmodel).
+	NullExpectation func(set *graph.Set) float64
+
+	medianDegree    float64
+	medianComputed  bool
+	totalOutDegrees []int64 // prefix caches for Chung–Lu expectation
+}
+
+// NewContext builds a scoring context with the analytic null-model
+// expectation installed.
+func NewContext(g *graph.Graph) *Context {
+	ctx := &Context{G: g}
+	ctx.NullExpectation = ctx.ChungLuExpectation
+	return ctx
+}
+
+// MedianDegree returns the median of d(v) over the whole graph, computed
+// once and cached. Used by the FOMD metric.
+func (ctx *Context) MedianDegree() float64 {
+	if !ctx.medianComputed {
+		seq := ctx.G.DegreeSequence()
+		sort.Ints(seq)
+		n := len(seq)
+		switch {
+		case n == 0:
+			ctx.medianDegree = 0
+		case n%2 == 1:
+			ctx.medianDegree = float64(seq[n/2])
+		default:
+			ctx.medianDegree = float64(seq[n/2-1]+seq[n/2]) / 2
+		}
+		ctx.medianComputed = true
+	}
+	return ctx.medianDegree
+}
+
+// ChungLuExpectation returns the analytic expected internal edge count of
+// the set under a degree-preserving random graph: for directed graphs
+// E(m_C) = outSum(C)·inSum(C)/m, and for undirected graphs
+// E(m_C) = degSum(C)² / (4m).
+func (ctx *Context) ChungLuExpectation(set *graph.Set) float64 {
+	g := ctx.G
+	m := float64(g.NumEdges())
+	if m == 0 {
+		return 0
+	}
+	if g.Directed() {
+		var outSum, inSum float64
+		for _, v := range set.Members() {
+			outSum += float64(g.OutDegree(v))
+			inSum += float64(g.InDegree(v))
+		}
+		return outSum * inSum / m
+	}
+	var degSum float64
+	for _, v := range set.Members() {
+		degSum += float64(g.Degree(v))
+	}
+	return degSum * degSum / (4 * m)
+}
+
+// Func is a named scoring function. Eval receives the shared context, the
+// vertex set and its precomputed cut statistics.
+type Func struct {
+	// Name is the canonical registry key, e.g. "conductance".
+	Name string
+	// Label is the human-readable name used in reports.
+	Label string
+	// LowerIsCommunity reports the extremal direction: true when a low
+	// score indicates community structure (e.g. Conductance), false when
+	// a high score does (e.g. Average Degree).
+	LowerIsCommunity bool
+	// Eval computes the score.
+	Eval func(ctx *Context, set *graph.Set, cut graph.CutStats) float64
+}
+
+// Group is a named vertex set: a circle or a community.
+type Group struct {
+	// Name identifies the group within its data set (e.g. "ego102/circle3").
+	Name string
+	// Members are dense vertex indices into the host graph.
+	Members []graph.VID
+}
+
+// Result holds one group's score under one function.
+type Result struct {
+	Group string
+	Score float64
+}
+
+// Evaluate scores a single group under the given functions, returning
+// scores keyed by function name. The cut statistics are computed once and
+// shared by every function.
+func Evaluate(ctx *Context, members []graph.VID, fns []Func) map[string]float64 {
+	set := graph.SetOf(ctx.G, members)
+	cut := graph.Cut(ctx.G, set)
+	out := make(map[string]float64, len(fns))
+	for _, f := range fns {
+		out[f.Name] = f.Eval(ctx, set, cut)
+	}
+	return out
+}
+
+// EvaluateGroups scores every group under every function. The result maps
+// function name -> scores aligned with the groups slice. A reusable set
+// avoids per-group bitmap allocation.
+func EvaluateGroups(ctx *Context, groups []Group, fns []Func) map[string][]float64 {
+	out := make(map[string][]float64, len(fns))
+	for _, f := range fns {
+		out[f.Name] = make([]float64, 0, len(groups))
+	}
+	set := graph.NewSet(ctx.G.NumVertices())
+	for _, grp := range groups {
+		set.Fill(grp.Members)
+		cut := graph.Cut(ctx.G, set)
+		for _, f := range fns {
+			out[f.Name] = append(out[f.Name], f.Eval(ctx, set, cut))
+		}
+	}
+	return out
+}
+
+// ByName resolves function names against the full registry.
+func ByName(names ...string) ([]Func, error) {
+	all := AllFuncs()
+	idx := make(map[string]Func, len(all))
+	for _, f := range all {
+		idx[f.Name] = f
+	}
+	out := make([]Func, 0, len(names))
+	for _, name := range names {
+		f, ok := idx[name]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownFunc, name)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// PaperFuncs returns the paper's four scoring functions in presentation
+// order (Fig. 5 / Fig. 6 panels a-d).
+func PaperFuncs() []Func {
+	return []Func{AverageDegree(), RatioCut(), Conductance(), Modularity()}
+}
+
+// AllFuncs returns the paper's four functions followed by the extended
+// Yang–Leskovec battery.
+func AllFuncs() []Func {
+	out := PaperFuncs()
+	out = append(out, ExtendedFuncs()...)
+	return out
+}

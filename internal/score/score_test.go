@@ -1,0 +1,350 @@
+package score
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gpluscircles/internal/graph"
+)
+
+// k4Pendant builds an undirected K4 {1,2,3,4} with a pendant edge 4-5 and
+// returns the graph plus the member indices of the K4 community.
+func k4Pendant(t *testing.T) (*graph.Graph, []graph.VID) {
+	t.Helper()
+	g, err := graph.FromEdges(false, [][2]int64{
+		{1, 2}, {1, 3}, {1, 4}, {2, 3}, {2, 4}, {3, 4}, {4, 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var members []graph.VID
+	for _, ext := range []int64{1, 2, 3, 4} {
+		v, err := g.MustLookup(ext)
+		if err != nil {
+			t.Fatal(err)
+		}
+		members = append(members, v)
+	}
+	return g, members
+}
+
+func scoreOne(t *testing.T, g *graph.Graph, members []graph.VID, f Func) float64 {
+	t.Helper()
+	ctx := NewContext(g)
+	return Evaluate(ctx, members, []Func{f})[f.Name]
+}
+
+func TestAverageDegreeK4(t *testing.T) {
+	g, members := k4Pendant(t)
+	if got := scoreOne(t, g, members, AverageDegree()); got != 3 {
+		t.Errorf("avgdeg = %v, want 3", got)
+	}
+}
+
+func TestRatioCutK4(t *testing.T) {
+	g, members := k4Pendant(t)
+	// c_C/(n_C(n-n_C)) = 1/(4*1) = 0.25
+	if got := scoreOne(t, g, members, RatioCut()); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("ratiocut = %v, want 0.25", got)
+	}
+}
+
+func TestConductanceK4(t *testing.T) {
+	g, members := k4Pendant(t)
+	want := 1.0 / 13.0
+	if got := scoreOne(t, g, members, Conductance()); math.Abs(got-want) > 1e-12 {
+		t.Errorf("conductance = %v, want %v", got, want)
+	}
+}
+
+func TestModularityK4Analytic(t *testing.T) {
+	g, members := k4Pendant(t)
+	// E(m_C) = 13^2/(4*7); f = (6 - E)/(2*7)
+	want := (6 - 169.0/28.0) / 14.0
+	if got := scoreOne(t, g, members, Modularity()); math.Abs(got-want) > 1e-12 {
+		t.Errorf("modularity = %v, want %v", got, want)
+	}
+}
+
+func TestModularityCustomNullModel(t *testing.T) {
+	g, members := k4Pendant(t)
+	ctx := NewContext(g)
+	ctx.NullExpectation = func(*graph.Set) float64 { return 2 }
+	got := Evaluate(ctx, members, []Func{Modularity()})["modularity"]
+	want := (6.0 - 2.0) / 14.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("modularity with custom null = %v, want %v", got, want)
+	}
+}
+
+func TestInternalDensityK4(t *testing.T) {
+	g, members := k4Pendant(t)
+	if got := scoreOne(t, g, members, InternalDensity()); got != 1 {
+		t.Errorf("density = %v, want 1", got)
+	}
+}
+
+func TestEdgesInsideK4(t *testing.T) {
+	g, members := k4Pendant(t)
+	if got := scoreOne(t, g, members, EdgesInside()); got != 6 {
+		t.Errorf("edges = %v, want 6", got)
+	}
+}
+
+func TestExpansionK4(t *testing.T) {
+	g, members := k4Pendant(t)
+	if got := scoreOne(t, g, members, Expansion()); got != 0.25 {
+		t.Errorf("expansion = %v, want 0.25", got)
+	}
+}
+
+func TestNormalizedCutK4(t *testing.T) {
+	g, members := k4Pendant(t)
+	want := 1.0/13.0 + 1.0/3.0
+	if got := scoreOne(t, g, members, NormalizedCut()); math.Abs(got-want) > 1e-12 {
+		t.Errorf("ncut = %v, want %v", got, want)
+	}
+}
+
+func TestODFFunctionsK4(t *testing.T) {
+	g, members := k4Pendant(t)
+	if got := scoreOne(t, g, members, MaximumODF()); got != 0.25 {
+		t.Errorf("maxodf = %v, want 0.25", got)
+	}
+	if got := scoreOne(t, g, members, AverageODF()); got != 0.0625 {
+		t.Errorf("avgodf = %v, want 0.0625", got)
+	}
+	if got := scoreOne(t, g, members, FlakeODF()); got != 0 {
+		t.Errorf("flakeodf = %v, want 0", got)
+	}
+}
+
+func TestFOMDK4(t *testing.T) {
+	g, members := k4Pendant(t)
+	// Median degree is 3; no member's internal degree exceeds 3.
+	if got := scoreOne(t, g, members, FractionOverMedianDegree()); got != 0 {
+		t.Errorf("fomd = %v, want 0", got)
+	}
+}
+
+func TestTPRK4(t *testing.T) {
+	g, members := k4Pendant(t)
+	if got := scoreOne(t, g, members, TriangleParticipationRatio()); got != 1 {
+		t.Errorf("tpr = %v, want 1", got)
+	}
+}
+
+func TestTPRPath(t *testing.T) {
+	// A path has no triangles at all.
+	g, err := graph.FromEdges(false, [][2]int64{{0, 1}, {1, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := scoreOne(t, g, g.Vertices(), TriangleParticipationRatio()); got != 0 {
+		t.Errorf("tpr(path) = %v, want 0", got)
+	}
+}
+
+func TestSetClusteringK4(t *testing.T) {
+	g, members := k4Pendant(t)
+	if got := scoreOne(t, g, members, SetClustering()); got != 1 {
+		t.Errorf("setcc(K4) = %v, want 1", got)
+	}
+}
+
+func TestSetClusteringPath(t *testing.T) {
+	g, err := graph.FromEdges(false, [][2]int64{{0, 1}, {1, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := scoreOne(t, g, g.Vertices(), SetClustering()); got != 0 {
+		t.Errorf("setcc(path) = %v, want 0", got)
+	}
+}
+
+func TestSetClusteringDirectedPairCounting(t *testing.T) {
+	// Directed triangle with one reciprocal pair: every pair is linked,
+	// so each member's in-set CC is 1 regardless of arc directions.
+	g, err := graph.FromEdges(true, [][2]int64{{0, 1}, {1, 0}, {1, 2}, {2, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := scoreOne(t, g, g.Vertices(), SetClustering()); got != 1 {
+		t.Errorf("setcc(directed triangle) = %v, want 1", got)
+	}
+}
+
+func TestSeparabilityK4(t *testing.T) {
+	g, members := k4Pendant(t)
+	if got := scoreOne(t, g, members, Separability()); got != 6 {
+		t.Errorf("separability = %v, want 6", got)
+	}
+}
+
+func TestDirectedCutScores(t *testing.T) {
+	// Reciprocal pair {0,1} with one outgoing arc to 2 and one incoming
+	// arc from 3; m=5 with the external arc 2->3.
+	g, err := graph.FromEdges(true, [][2]int64{
+		{0, 1}, {1, 0}, {1, 2}, {3, 0}, {2, 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var members []graph.VID
+	for _, ext := range []int64{0, 1} {
+		v, _ := g.Lookup(ext)
+		members = append(members, v)
+	}
+	if got := scoreOne(t, g, members, AverageDegree()); got != 2 {
+		t.Errorf("avgdeg = %v, want 2 (2*2/2)", got)
+	}
+	want := 2.0 / 6.0 // c=2, 2m_C+c = 6
+	if got := scoreOne(t, g, members, Conductance()); math.Abs(got-want) > 1e-12 {
+		t.Errorf("conductance = %v, want %v", got, want)
+	}
+}
+
+func TestEvaluateGroupsAlignment(t *testing.T) {
+	g, members := k4Pendant(t)
+	ctx := NewContext(g)
+	pendant, _ := g.Lookup(5)
+	groups := []Group{
+		{Name: "k4", Members: members},
+		{Name: "pendant", Members: []graph.VID{pendant}},
+	}
+	res := EvaluateGroups(ctx, groups, PaperFuncs())
+	if len(res["avgdeg"]) != 2 {
+		t.Fatalf("avgdeg has %d entries, want 2", len(res["avgdeg"]))
+	}
+	if res["avgdeg"][0] != 3 || res["avgdeg"][1] != 0 {
+		t.Errorf("avgdeg = %v, want [3 0]", res["avgdeg"])
+	}
+}
+
+func TestByName(t *testing.T) {
+	fns, err := ByName("conductance", "tpr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fns) != 2 || fns[0].Name != "conductance" || fns[1].Name != "tpr" {
+		t.Errorf("ByName returned %+v", fns)
+	}
+	if _, err := ByName("nope"); !errors.Is(err, ErrUnknownFunc) {
+		t.Errorf("err = %v, want ErrUnknownFunc", err)
+	}
+}
+
+func TestRegistryNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, f := range AllFuncs() {
+		if seen[f.Name] {
+			t.Errorf("duplicate function name %q", f.Name)
+		}
+		seen[f.Name] = true
+		if f.Label == "" {
+			t.Errorf("function %q missing label", f.Name)
+		}
+	}
+}
+
+func randomGraphAndSet(seed int64) (*graph.Graph, []graph.VID, bool) {
+	rng := rand.New(rand.NewSource(seed))
+	directed := seed%2 == 0
+	edges := make([][2]int64, 80)
+	for i := range edges {
+		edges[i] = [2]int64{rng.Int63n(25), rng.Int63n(25)}
+	}
+	g, err := graph.FromEdges(directed, edges)
+	if err != nil {
+		return nil, nil, false
+	}
+	var members []graph.VID
+	for v := 0; v < g.NumVertices(); v++ {
+		if rng.Intn(3) == 0 {
+			members = append(members, graph.VID(v))
+		}
+	}
+	if len(members) == 0 {
+		members = append(members, 0)
+	}
+	return g, members, true
+}
+
+// Property: bounded scores stay in their documented ranges on arbitrary
+// graphs and sets.
+func TestQuickScoreBounds(t *testing.T) {
+	bounded := map[string][2]float64{
+		"conductance": {0, 1},
+		"density":     {0, 1},
+		"fomd":        {0, 1},
+		"tpr":         {0, 1},
+		"maxodf":      {0, 1},
+		"avgodf":      {0, 1},
+		"flakeodf":    {0, 1},
+		"ncut":        {0, 2},
+		"modularity":  {-1, 1},
+		"setcc":       {0, 1},
+	}
+	f := func(seed int64) bool {
+		g, members, ok := randomGraphAndSet(seed)
+		if !ok {
+			return true
+		}
+		ctx := NewContext(g)
+		res := Evaluate(ctx, members, AllFuncs())
+		for name, b := range bounded {
+			v := res[name]
+			if math.IsNaN(v) || v < b[0]-1e-9 || v > b[1]+1e-9 {
+				t.Logf("seed %d: %s = %v out of [%v,%v]", seed, name, v, b[0], b[1])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the full vertex set has no boundary, so every external-
+// connectivity score vanishes and conductance is 0.
+func TestQuickFullSetScores(t *testing.T) {
+	f := func(seed int64) bool {
+		g, _, ok := randomGraphAndSet(seed)
+		if !ok {
+			return true
+		}
+		ctx := NewContext(g)
+		res := Evaluate(ctx, g.Vertices(), AllFuncs())
+		return res["ratiocut"] == 0 && res["conductance"] == 0 &&
+			res["expansion"] == 0 && res["maxodf"] == 0 && res["ncut"] == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Evaluate and EvaluateGroups agree.
+func TestQuickEvaluateConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		g, members, ok := randomGraphAndSet(seed)
+		if !ok {
+			return true
+		}
+		ctx := NewContext(g)
+		single := Evaluate(ctx, members, PaperFuncs())
+		grouped := EvaluateGroups(ctx, []Group{{Name: "c", Members: members}}, PaperFuncs())
+		for name, v := range single {
+			if grouped[name][0] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

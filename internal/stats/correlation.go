@@ -1,0 +1,74 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrLengthMismatch is returned when paired samples differ in length.
+var ErrLengthMismatch = errors.New("stats: paired samples differ in length")
+
+// Pearson returns the Pearson correlation coefficient of two paired
+// samples, or 0 when either side has zero variance.
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, ErrLengthMismatch
+	}
+	if len(xs) == 0 {
+		return 0, ErrEmptySample
+	}
+	n := float64(len(xs))
+	var sx, sy, sxy, sx2, sy2 float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxy += xs[i] * ys[i]
+		sx2 += xs[i] * xs[i]
+		sy2 += ys[i] * ys[i]
+	}
+	cov := sxy/n - (sx/n)*(sy/n)
+	vx := sx2/n - (sx/n)*(sx/n)
+	vy := sy2/n - (sy/n)*(sy/n)
+	if vx <= 0 || vy <= 0 {
+		return 0, nil
+	}
+	return cov / math.Sqrt(vx*vy), nil
+}
+
+// Spearman returns the Spearman rank correlation of two paired samples:
+// the Pearson correlation of their rank transforms, with ties receiving
+// their average rank. Yang & Leskovec use rank correlation to group the
+// community scoring functions into four families.
+func Spearman(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, ErrLengthMismatch
+	}
+	if len(xs) == 0 {
+		return 0, ErrEmptySample
+	}
+	return Pearson(ranks(xs), ranks(ys))
+}
+
+// ranks returns average ranks (1-based) of the sample.
+func ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	out := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return out
+}

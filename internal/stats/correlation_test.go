@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPearsonPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	r, err := Pearson(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-1) > 1e-12 {
+		t.Errorf("Pearson = %v, want 1", r)
+	}
+	neg := []float64{8, 6, 4, 2}
+	r, _ = Pearson(xs, neg)
+	if math.Abs(r+1) > 1e-12 {
+		t.Errorf("Pearson = %v, want -1", r)
+	}
+}
+
+func TestPearsonConstantIsZero(t *testing.T) {
+	r, err := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 0 {
+		t.Errorf("Pearson with constant side = %v, want 0", r)
+	}
+}
+
+func TestPearsonValidation(t *testing.T) {
+	if _, err := Pearson([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrLengthMismatch) {
+		t.Errorf("err = %v, want ErrLengthMismatch", err)
+	}
+	if _, err := Pearson(nil, nil); !errors.Is(err, ErrEmptySample) {
+		t.Errorf("err = %v, want ErrEmptySample", err)
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// Any monotone transform has Spearman 1.
+	xs := []float64{1, 5, 2, 9, 3}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = math.Exp(x)
+	}
+	r, err := Spearman(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-1) > 1e-12 {
+		t.Errorf("Spearman = %v, want 1", r)
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	// Ties get average ranks; correlation still defined.
+	xs := []float64{1, 1, 2, 3}
+	ys := []float64{4, 4, 5, 6}
+	r, err := Spearman(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-1) > 1e-12 {
+		t.Errorf("Spearman with ties = %v, want 1", r)
+	}
+}
+
+func TestRanksAverageTies(t *testing.T) {
+	got := ranks([]float64{10, 20, 10})
+	want := []float64{1.5, 3, 1.5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+// Property: correlations stay within [-1, 1] and are symmetric.
+func TestQuickCorrelationBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			ys[i] = rng.NormFloat64()
+		}
+		for _, fn := range []func([]float64, []float64) (float64, error){Pearson, Spearman} {
+			ab, err1 := fn(xs, ys)
+			ba, err2 := fn(ys, xs)
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			if math.Abs(ab-ba) > 1e-9 || ab < -1-1e-9 || ab > 1+1e-9 || math.IsNaN(ab) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

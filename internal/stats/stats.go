@@ -1,0 +1,308 @@
+// Package stats provides the empirical-statistics utilities shared by the
+// evaluation pipeline: summary statistics, empirical CDFs, linear and
+// logarithmic histograms, quantiles and two-sample Kolmogorov–Smirnov
+// distance. All functions are deterministic and allocation-conscious.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmptySample is returned by functions that need at least one value.
+var ErrEmptySample = errors.New("stats: empty sample")
+
+// Summary holds the moments and quantiles of a sample.
+type Summary struct {
+	N        int
+	Mean     float64
+	Variance float64 // unbiased (n-1) sample variance; 0 for n < 2
+	StdDev   float64
+	Min      float64
+	Max      float64
+	Median   float64
+	P25      float64
+	P75      float64
+	P90      float64
+	P99      float64
+}
+
+// Summarize computes a Summary of the sample.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmptySample
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+
+	var sum float64
+	for _, x := range sorted {
+		sum += x
+	}
+	mean := sum / float64(len(sorted))
+
+	var ss float64
+	for _, x := range sorted {
+		d := x - mean
+		ss += d * d
+	}
+	variance := 0.0
+	if len(sorted) > 1 {
+		variance = ss / float64(len(sorted)-1)
+	}
+
+	return Summary{
+		N:        len(sorted),
+		Mean:     mean,
+		Variance: variance,
+		StdDev:   math.Sqrt(variance),
+		Min:      sorted[0],
+		Max:      sorted[len(sorted)-1],
+		Median:   quantileSorted(sorted, 0.5),
+		P25:      quantileSorted(sorted, 0.25),
+		P75:      quantileSorted(sorted, 0.75),
+		P90:      quantileSorted(sorted, 0.90),
+		P99:      quantileSorted(sorted, 0.99),
+	}, nil
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// MeanInts returns the arithmetic mean of an integer sample.
+func MeanInts(xs []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, x := range xs {
+		sum += int64(x)
+	}
+	return float64(sum) / float64(len(xs))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the sample using linear
+// interpolation between order statistics.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmptySample
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q), nil
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// CDF is an empirical cumulative distribution function: at X[i], the
+// fraction Y[i] of the sample is <= X[i]. X is strictly increasing and Y
+// non-decreasing, ending at 1.
+type CDF struct {
+	X []float64
+	Y []float64
+}
+
+// NewCDF builds the empirical CDF of the sample with one step per
+// distinct value.
+func NewCDF(xs []float64) (CDF, error) {
+	if len(xs) == 0 {
+		return CDF{}, ErrEmptySample
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+
+	var c CDF
+	for i := 0; i < len(sorted); i++ {
+		// Collapse runs of equal values to a single step.
+		if i+1 < len(sorted) && sorted[i+1] == sorted[i] {
+			continue
+		}
+		c.X = append(c.X, sorted[i])
+		c.Y = append(c.Y, float64(i+1)/n)
+	}
+	return c, nil
+}
+
+// At evaluates the CDF at x: the fraction of the sample <= x.
+func (c CDF) At(x float64) float64 {
+	i := sort.SearchFloat64s(c.X, x)
+	// SearchFloat64s returns the first index with X[i] >= x.
+	if i < len(c.X) && c.X[i] == x {
+		return c.Y[i]
+	}
+	if i == 0 {
+		return 0
+	}
+	return c.Y[i-1]
+}
+
+// FractionAbove returns the sample fraction strictly greater than x.
+func (c CDF) FractionAbove(x float64) float64 { return 1 - c.At(x) }
+
+// Len returns the number of CDF steps (distinct sample values).
+func (c CDF) Len() int { return len(c.X) }
+
+// KSDistance returns the two-sample Kolmogorov–Smirnov statistic
+// sup_x |F1(x) - F2(x)| between two empirical CDFs.
+func KSDistance(a, b CDF) float64 {
+	var d float64
+	for _, x := range a.X {
+		if v := math.Abs(a.At(x) - b.At(x)); v > d {
+			d = v
+		}
+	}
+	for _, x := range b.X {
+		if v := math.Abs(a.At(x) - b.At(x)); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+// Bin is one histogram bucket over [Lo, Hi) holding Count samples.
+type Bin struct {
+	Lo, Hi float64
+	Count  int
+}
+
+// Histogram bins the sample into k equal-width bins spanning [min, max].
+// The final bin is closed on the right so the maximum is counted.
+func Histogram(xs []float64, k int) ([]Bin, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmptySample
+	}
+	if k < 1 {
+		return nil, errors.New("stats: histogram needs k >= 1")
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	if lo == hi {
+		return []Bin{{Lo: lo, Hi: hi, Count: len(xs)}}, nil
+	}
+	width := (hi - lo) / float64(k)
+	bins := make([]Bin, k)
+	for i := range bins {
+		bins[i].Lo = lo + float64(i)*width
+		bins[i].Hi = lo + float64(i+1)*width
+	}
+	bins[k-1].Hi = hi
+	for _, x := range xs {
+		i := int((x - lo) / width)
+		if i >= k {
+			i = k - 1
+		}
+		bins[i].Count++
+	}
+	return bins, nil
+}
+
+// LogBins bins strictly positive integer-valued data into multiplicative
+// bins of the given ratio (> 1), as used for log-log degree plots. Values
+// <= 0 are skipped. Each bin holds [Lo, Hi) with Hi = Lo*ratio (rounded
+// up to progress at least by 1).
+func LogBins(xs []float64, ratio float64) ([]Bin, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmptySample
+	}
+	if ratio <= 1 {
+		return nil, errors.New("stats: log bin ratio must be > 1")
+	}
+	var positive []float64
+	for _, x := range xs {
+		if x > 0 {
+			positive = append(positive, x)
+		}
+	}
+	if len(positive) == 0 {
+		return nil, ErrEmptySample
+	}
+	sort.Float64s(positive)
+	maxV := positive[len(positive)-1]
+
+	var bins []Bin
+	lo := 1.0
+	for lo <= maxV {
+		hi := lo * ratio
+		if hi < lo+1 {
+			hi = lo + 1
+		}
+		bins = append(bins, Bin{Lo: lo, Hi: hi})
+		lo = hi
+	}
+	for _, x := range positive {
+		// Binary search for the bin containing x.
+		i := sort.Search(len(bins), func(i int) bool { return bins[i].Hi > x })
+		if i < len(bins) {
+			bins[i].Count++
+		}
+	}
+	return bins, nil
+}
+
+// CountsToFloats converts an integer sample (e.g. a degree sequence) to
+// float64 for the CDF/fit helpers.
+func CountsToFloats(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// Gini returns the Gini coefficient of a non-negative sample: 0 for a
+// perfectly equal distribution, approaching 1 when a single element
+// holds everything. Commonly used to summarize degree inequality in
+// social graphs.
+func Gini(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmptySample
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if sorted[0] < 0 {
+		return 0, errors.New("stats: Gini requires non-negative values")
+	}
+	n := float64(len(sorted))
+	var cumWeighted, total float64
+	for i, x := range sorted {
+		cumWeighted += float64(i+1) * x
+		total += x
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	return (2*cumWeighted - (n+1)*total) / (n * total), nil
+}

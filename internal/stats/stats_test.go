@@ -1,0 +1,317 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnown(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.Variance-2.5) > 1e-12 {
+		t.Errorf("Variance = %v, want 2.5", s.Variance)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil); !errors.Is(err, ErrEmptySample) {
+		t.Errorf("err = %v, want ErrEmptySample", err)
+	}
+}
+
+func TestSummarizeSingleton(t *testing.T) {
+	s, err := Summarize([]float64{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Variance != 0 || s.StdDev != 0 || s.Median != 7 {
+		t.Errorf("summary = %+v", s)
+	}
+}
+
+func TestMeanHelpers(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{2, 4}); got != 3 {
+		t.Errorf("Mean = %v, want 3", got)
+	}
+	if got := MeanInts([]int{1, 2, 3}); got != 2 {
+		t.Errorf("MeanInts = %v, want 2", got)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	q, err := Quantile([]float64{0, 10}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != 5 {
+		t.Errorf("median of {0,10} = %v, want 5", q)
+	}
+	q, _ = Quantile([]float64{0, 10}, 0)
+	if q != 0 {
+		t.Errorf("q0 = %v, want 0", q)
+	}
+	q, _ = Quantile([]float64{0, 10}, 1)
+	if q != 10 {
+		t.Errorf("q1 = %v, want 10", q)
+	}
+}
+
+func TestCDFKnown(t *testing.T) {
+	c, err := NewCDF([]float64{1, 1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 distinct steps", c.Len())
+	}
+	cases := []struct {
+		x, want float64
+	}{
+		{0.5, 0}, {1, 0.5}, {1.5, 0.5}, {2, 0.75}, {3, 0.75}, {4, 1}, {5, 1},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.x); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+	if got := c.FractionAbove(2); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("FractionAbove(2) = %v, want 0.25", got)
+	}
+}
+
+func TestKSDistanceIdentical(t *testing.T) {
+	c, _ := NewCDF([]float64{1, 2, 3})
+	if d := KSDistance(c, c); d != 0 {
+		t.Errorf("KS(self) = %v, want 0", d)
+	}
+}
+
+func TestKSDistanceDisjoint(t *testing.T) {
+	a, _ := NewCDF([]float64{1, 2})
+	b, _ := NewCDF([]float64{10, 20})
+	if d := KSDistance(a, b); d != 1 {
+		t.Errorf("KS(disjoint) = %v, want 1", d)
+	}
+}
+
+func TestHistogramKnown(t *testing.T) {
+	bins, err := Histogram([]float64{0, 1, 2, 3, 4}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, b := range bins {
+		total += b.Count
+	}
+	if total != 5 {
+		t.Errorf("histogram total = %d, want 5", total)
+	}
+	if bins[4].Count != 1 {
+		t.Errorf("max value not counted in last bin: %+v", bins)
+	}
+}
+
+func TestHistogramConstantSample(t *testing.T) {
+	bins, err := Histogram([]float64{3, 3, 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bins) != 1 || bins[0].Count != 3 {
+		t.Errorf("constant-sample bins = %+v", bins)
+	}
+}
+
+func TestLogBinsCoverAll(t *testing.T) {
+	xs := []float64{1, 2, 3, 10, 100, 1000}
+	bins, err := LogBins(xs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, b := range bins {
+		total += b.Count
+	}
+	if total != len(xs) {
+		t.Errorf("log bins counted %d, want %d", total, len(xs))
+	}
+}
+
+func TestLogBinsRejectsBadRatio(t *testing.T) {
+	if _, err := LogBins([]float64{1}, 1); err == nil {
+		t.Error("ratio=1 accepted, want error")
+	}
+}
+
+func TestLogBinsSkipsNonPositive(t *testing.T) {
+	bins, err := LogBins([]float64{-5, 0, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, b := range bins {
+		total += b.Count
+	}
+	if total != 1 {
+		t.Errorf("counted %d, want 1 (non-positive skipped)", total)
+	}
+}
+
+func TestGiniKnown(t *testing.T) {
+	// Equal distribution -> 0.
+	g, err := Gini([]float64{5, 5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g) > 1e-12 {
+		t.Errorf("Gini(equal) = %v, want 0", g)
+	}
+	// One holder of everything among n: (n-1)/n.
+	g, _ = Gini([]float64{0, 0, 0, 10})
+	if math.Abs(g-0.75) > 1e-12 {
+		t.Errorf("Gini(concentrated) = %v, want 0.75", g)
+	}
+	// All zeros defined as 0.
+	g, _ = Gini([]float64{0, 0})
+	if g != 0 {
+		t.Errorf("Gini(zeros) = %v, want 0", g)
+	}
+}
+
+func TestGiniValidation(t *testing.T) {
+	if _, err := Gini(nil); !errors.Is(err, ErrEmptySample) {
+		t.Errorf("err = %v, want ErrEmptySample", err)
+	}
+	if _, err := Gini([]float64{-1, 2}); err == nil {
+		t.Error("negative values accepted")
+	}
+}
+
+// Property: Gini lies in [0, 1) and is scale-invariant.
+func TestQuickGini(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 2+rng.Intn(50))
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+		}
+		g1, err := Gini(xs)
+		if err != nil || g1 < -1e-9 || g1 >= 1 {
+			return false
+		}
+		scaled := make([]float64, len(xs))
+		for i := range xs {
+			scaled[i] = xs[i] * 7
+		}
+		g2, err := Gini(scaled)
+		return err == nil && math.Abs(g1-g2) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CDF is monotone non-decreasing and ends at 1.
+func TestQuickCDFMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		c, err := NewCDF(xs)
+		if err != nil {
+			return false
+		}
+		if math.Abs(c.Y[len(c.Y)-1]-1) > 1e-12 {
+			return false
+		}
+		return sort.Float64sAreSorted(c.X) && sort.Float64sAreSorted(c.Y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: KS distance is symmetric and within [0,1].
+func TestQuickKSSymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() CDF {
+			xs := make([]float64, 1+rng.Intn(50))
+			for i := range xs {
+				xs[i] = rng.NormFloat64()
+			}
+			c, _ := NewCDF(xs)
+			return c
+		}
+		a, b := mk(), mk()
+		d1, d2 := KSDistance(a, b), KSDistance(b, a)
+		return math.Abs(d1-d2) < 1e-12 && d1 >= 0 && d1 <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: quantiles are monotone in q and bracketed by min/max.
+func TestQuickQuantileMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 1+rng.Intn(40))
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v, err := Quantile(xs, q)
+			if err != nil || v < prev {
+				return false
+			}
+			prev = v
+		}
+		s, _ := Summarize(xs)
+		return prev <= s.Max+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: histogram bin counts always sum to the sample size.
+func TestQuickHistogramTotal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 1+rng.Intn(100))
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		bins, err := Histogram(xs, 1+rng.Intn(20))
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, b := range bins {
+			total += b.Count
+		}
+		return total == len(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

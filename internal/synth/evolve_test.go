@@ -1,0 +1,125 @@
+package synth
+
+import (
+	"errors"
+	"testing"
+)
+
+// smallEvolveConfig is a fast test-scale scenario.
+func smallEvolveConfig() EvolveConfig {
+	cfg := DefaultEvolveConfig()
+	cfg.Steps = 30
+	cfg.ArrivalsPerStep = 25
+	cfg.Checkpoints = 6
+	return cfg
+}
+
+func TestEvolveConfigValidate(t *testing.T) {
+	bad := []func(*EvolveConfig){
+		func(c *EvolveConfig) { c.Steps = 0 },
+		func(c *EvolveConfig) { c.ArrivalsPerStep = 0 },
+		func(c *EvolveConfig) { c.InvitedFraction = 1.5 },
+		func(c *EvolveConfig) { c.TriadicClosure = -0.1 },
+		func(c *EvolveConfig) { c.Attachment = 2 },
+		func(c *EvolveConfig) { c.Reciprocity = -1 },
+		func(c *EvolveConfig) { c.SeedUsers = 2 },
+		func(c *EvolveConfig) { c.Checkpoints = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultEvolveConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); !errors.Is(err, errBadConfig) {
+			t.Errorf("case %d: err = %v, want errBadConfig", i, err)
+		}
+	}
+	if err := DefaultEvolveConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestEvolveGrowth(t *testing.T) {
+	cfg := smallEvolveConfig()
+	evo, err := Evolve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evo.Snapshots) < cfg.Checkpoints {
+		t.Fatalf("snapshots = %d, want >= %d", len(evo.Snapshots), cfg.Checkpoints)
+	}
+	if evo.Final == nil {
+		t.Fatal("no final graph")
+	}
+	wantFinal := cfg.SeedUsers + cfg.Steps*cfg.ArrivalsPerStep
+	if evo.Final.NumVertices() != wantFinal {
+		t.Errorf("final vertices = %d, want %d", evo.Final.NumVertices(), wantFinal)
+	}
+	// Vertices and edges grow monotonically across snapshots.
+	for i := 1; i < len(evo.Snapshots); i++ {
+		if evo.Snapshots[i].Vertices <= evo.Snapshots[i-1].Vertices {
+			t.Errorf("vertices not growing at snapshot %d", i)
+		}
+		if evo.Snapshots[i].Edges <= evo.Snapshots[i-1].Edges {
+			t.Errorf("edges not growing at snapshot %d", i)
+		}
+	}
+}
+
+// TestEvolveClusteringDeclines reproduces the Gong et al. trajectory the
+// paper cites: clustering is highest in the early (seed-community-
+// dominated) phase and declines as the network grows.
+func TestEvolveClusteringDeclines(t *testing.T) {
+	evo, err := Evolve(smallEvolveConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := evo.Snapshots[0].Clustering
+	last := evo.Snapshots[len(evo.Snapshots)-1].Clustering
+	if first <= last {
+		t.Errorf("clustering did not decline: first %.3f, last %.3f", first, last)
+	}
+	if first <= 0.05 {
+		t.Errorf("early clustering %.3f implausibly low (seed community should dominate)", first)
+	}
+}
+
+// TestEvolveTriadicClosureRaisesClustering checks the mechanism: more
+// triadic closure yields higher steady-state clustering.
+func TestEvolveTriadicClosureRaisesClustering(t *testing.T) {
+	low := smallEvolveConfig()
+	low.TriadicClosure = 0
+	high := smallEvolveConfig()
+	high.TriadicClosure = 0.8
+
+	evoLow, err := Evolve(low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evoHigh, err := Evolve(high)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccLow := evoLow.Snapshots[len(evoLow.Snapshots)-1].Clustering
+	ccHigh := evoHigh.Snapshots[len(evoHigh.Snapshots)-1].Clustering
+	if ccHigh <= ccLow {
+		t.Errorf("closure 0.8 gives CC %.4f <= closure 0 CC %.4f", ccHigh, ccLow)
+	}
+}
+
+func TestEvolveDeterministic(t *testing.T) {
+	a, err := Evolve(smallEvolveConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Evolve(smallEvolveConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Final.NumEdges() != b.Final.NumEdges() {
+		t.Errorf("same seed produced %d vs %d edges", a.Final.NumEdges(), b.Final.NumEdges())
+	}
+	for i := range a.Snapshots {
+		if a.Snapshots[i] != b.Snapshots[i] {
+			t.Errorf("snapshot %d differs: %+v vs %+v", i, a.Snapshots[i], b.Snapshots[i])
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package synth
+
+import (
+	"errors"
+	"testing"
+
+	"gpluscircles/internal/score"
+	"gpluscircles/internal/stats"
+)
+
+func TestApplyCircleSharingDensifies(t *testing.T) {
+	ds, err := GenerateEgo(smallEgoConfig(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultSharingConfig()
+	cfg.ShareFraction = 1
+	cfg.AdoptionP = 0.5
+	res, err := ApplyCircleSharing(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SharedCircles != len(ds.Groups) {
+		t.Errorf("shared %d of %d circles with fraction 1", res.SharedCircles, len(ds.Groups))
+	}
+	if res.NewEdges <= 0 {
+		t.Error("sharing added no edges")
+	}
+	if res.Dataset.Graph.NumEdges() != ds.Graph.NumEdges()+res.NewEdges {
+		t.Errorf("edge accounting off: %d + %d != %d",
+			ds.Graph.NumEdges(), res.NewEdges, res.Dataset.Graph.NumEdges())
+	}
+	if res.Dataset.Graph.NumVertices() != ds.Graph.NumVertices() {
+		t.Error("sharing changed the vertex set")
+	}
+}
+
+// TestSharingLowersConductance verifies the Fang et al. effect the paper
+// invokes: densified circles become more community-like (conductance
+// drops, average degree rises).
+func TestSharingLowersConductance(t *testing.T) {
+	ds, err := GenerateEgo(smallEgoConfig(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultSharingConfig()
+	cfg.ShareFraction = 1
+	cfg.AdoptionP = 0.6
+	res, err := ApplyCircleSharing(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fns := []score.Func{score.Conductance(), score.AverageDegree()}
+	beforeScores := score.EvaluateGroups(score.NewContext(ds.Graph), ds.Groups, fns)
+	afterScores := score.EvaluateGroups(score.NewContext(res.Dataset.Graph), res.Dataset.Groups, fns)
+
+	condBefore := stats.Mean(beforeScores["conductance"])
+	condAfter := stats.Mean(afterScores["conductance"])
+	if condAfter >= condBefore {
+		t.Errorf("conductance did not drop: %.3f -> %.3f", condBefore, condAfter)
+	}
+	avgBefore := stats.Mean(beforeScores["avgdeg"])
+	avgAfter := stats.Mean(afterScores["avgdeg"])
+	if avgAfter <= avgBefore {
+		t.Errorf("average degree did not rise: %.2f -> %.2f", avgBefore, avgAfter)
+	}
+}
+
+func TestSharingZeroAdoptionIsNoop(t *testing.T) {
+	ds, err := GenerateEgo(smallEgoConfig(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultSharingConfig()
+	cfg.AdoptionP = 0
+	res, err := ApplyCircleSharing(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NewEdges != 0 {
+		t.Errorf("zero adoption added %d edges", res.NewEdges)
+	}
+}
+
+func TestSharingValidation(t *testing.T) {
+	ds, err := GenerateEgo(smallEgoConfig(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultSharingConfig()
+	cfg.AdoptionP = 2
+	if _, err := ApplyCircleSharing(ds, cfg); !errors.Is(err, errBadConfig) {
+		t.Errorf("err = %v, want errBadConfig", err)
+	}
+	bare := &Dataset{Name: "bare", Graph: ds.Graph}
+	if _, err := ApplyCircleSharing(bare, DefaultSharingConfig()); err == nil {
+		t.Error("data set without circles accepted")
+	}
+}
