@@ -1,0 +1,32 @@
+GO        ?= go
+DATE      := $(shell date +%Y-%m-%d)
+BENCH_OUT ?= BENCH_$(DATE).json
+# Hot paths of the concurrent experiment engine plus the scoring kernels.
+BENCH     ?= RunAll|EmpiricalExpectation|Characterize|PaperScores|ParallelScores
+BENCHTIME ?= 1x
+
+.PHONY: all build test race vet bench clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Emits machine-readable benchmark records (one JSON event per line) so
+# runs on different machines/dates can be diffed with benchstat-style
+# tooling. -benchtime=1x keeps the full-suite benchmarks affordable;
+# override BENCHTIME for stabler kernel numbers.
+bench:
+	$(GO) test -run='^$$' -bench='$(BENCH)' -benchmem -benchtime=$(BENCHTIME) -json . | tee $(BENCH_OUT)
+
+clean:
+	rm -f circlebench BENCH_*.json

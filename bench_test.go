@@ -597,3 +597,99 @@ func BenchmarkPowerLawFit(b *testing.B) {
 		}
 	}
 }
+
+// --- Concurrent experiment engine benchmarks ----------------------------
+
+// runAllBenchSuite builds a dedicated pre-generated suite so RunAll
+// benchmarks time the experiments, not the generators, and so the
+// serial/parallel variants start from identical cache states.
+func runAllBenchSuite(b *testing.B) *core.Suite {
+	b.Helper()
+	s := core.NewSuite(core.SuiteOptions{
+		Scale:             benchScale,
+		Seed:              99,
+		DistanceSources:   24,
+		ClusteringSamples: 800,
+	})
+	if _, err := s.AllGroupDatasets(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Crawl(); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkRunAllSerial times the full experiment battery on one
+// goroutine — the baseline for BenchmarkRunAllParallel.
+func BenchmarkRunAllSerial(b *testing.B) {
+	s := runAllBenchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := core.RunAll(s, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunAllParallel times the full battery fanned out over
+// GOMAXPROCS workers; output order (and bytes) match the serial run.
+func BenchmarkRunAllParallel(b *testing.B) {
+	s := runAllBenchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := core.RunAllParallel(s, io.Discard, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEmpiricalExpectation times the Viger-Latapy null-model
+// sampler on one worker (32 samples, 1 swap per edge).
+func BenchmarkEmpiricalExpectation(b *testing.B) {
+	s := suite(b)
+	tw, err := s.Twitter()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nullmodel.EmpiricalExpectationWorkers(tw.Graph, 32, 1, s.RNG(int64(i)), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEmpiricalExpectationParallel times the same sampling fanned
+// out over GOMAXPROCS workers with seeded child RNG streams.
+func BenchmarkEmpiricalExpectationParallel(b *testing.B) {
+	s := suite(b)
+	tw, err := s.Twitter()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nullmodel.EmpiricalExpectationWorkers(tw.Graph, 32, 1, s.RNG(int64(i)), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCharacterizeParallel times the graph profile whose
+// independent sections (BFS sweep, clustering samples, degree fit,
+// structural scalars) run concurrently.
+func BenchmarkCharacterizeParallel(b *testing.B) {
+	s := suite(b)
+	gp, err := s.GPlus()
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.ProfileOptions{DistanceSources: 24, ClusteringSamples: 800}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.CharacterizeGraph(gp.Name, gp.Graph, opts, s.RNG(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

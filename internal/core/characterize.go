@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"gpluscircles/internal/graph"
 	"gpluscircles/internal/graphalgo"
@@ -62,6 +63,11 @@ type GraphProfile struct {
 	// Clustering (Section IV-A2): summary of sampled local clustering
 	// coefficients.
 	Clustering stats.Summary
+
+	// ClusteringCDF is the empirical CDF behind Clustering — the series
+	// plotted in Fig. 4. Keeping it on the profile lets a memoized
+	// profile serve both Table II and the Fig. 4 plot.
+	ClusteringCDF stats.CDF
 }
 
 // ProfileOptions bound the sampled estimators in CharacterizeGraph.
@@ -89,12 +95,20 @@ func (o ProfileOptions) withDefaults() ProfileOptions {
 }
 
 // CharacterizeGraph computes a GraphProfile, the building block of
-// Tables II and III.
+// Tables II and III. The independent sections — the distance BFS sweep,
+// the clustering samples, the degree fit, and the structural scalars
+// (assortativity, k-core, Gini, reciprocity) — run concurrently; each
+// sampled section owns a child RNG seeded from rng up front, so the
+// profile is deterministic for a given rng regardless of scheduling.
 func CharacterizeGraph(name string, g *graph.Graph, opts ProfileOptions, rng *rand.Rand) (*GraphProfile, error) {
 	if rng == nil {
 		return nil, ErrNoRNG
 	}
 	opts = opts.withDefaults()
+
+	// Child streams are drawn in a fixed order before fan-out.
+	distRNG := rand.New(rand.NewSource(rng.Int63()))
+	ccRNG := rand.New(rand.NewSource(rng.Int63()))
 
 	p := &GraphProfile{
 		Name:          name,
@@ -105,45 +119,81 @@ func CharacterizeGraph(name string, g *graph.Graph, opts ProfileOptions, rng *ra
 		MeanInDegree:  g.MeanInDegree(),
 		MeanOutDegree: g.MeanOutDegree(),
 	}
-	if g.NumEdges() > 0 {
-		p.Reciprocity = float64(graph.ReciprocalEdgeCount(g)) / float64(2*g.NumEdges())
-		if g.Directed() {
-			p.Reciprocity = float64(graph.ReciprocalEdgeCount(g)) / float64(g.NumEdges())
-		}
-	}
 
-	dist, err := graphalgo.SampledDistances(g, opts.DistanceSources, rng)
-	if err != nil {
-		return nil, fmt.Errorf("distance sampling: %w", err)
-	}
-	p.Diameter = dist.Diameter
-	p.ASP = dist.ASP
-	p.Assortativity = graphalgo.DegreeAssortativity(g)
-	p.Degeneracy = graphalgo.MaxCore(g)
-	if gini, err := stats.Gini(stats.CountsToFloats(g.DegreeSequence())); err == nil {
-		p.DegreeGini = gini
-	}
+	var wg sync.WaitGroup
+	var distErr, fitErr, ccErr error
 
-	fit, err := fitInDegree(g, opts.FitXmin)
-	if err != nil {
-		// Degenerate degree data (e.g. regular graphs) is not fatal for a
-		// profile; the fit is simply absent.
-		if !errors.Is(err, powerlaw.ErrDegenerate) && !errors.Is(err, powerlaw.ErrEmptyTail) {
-			return nil, fmt.Errorf("degree fit: %w", err)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		dist, err := graphalgo.SampledDistances(g, opts.DistanceSources, distRNG)
+		if err != nil {
+			distErr = fmt.Errorf("distance sampling: %w", err)
+			return
 		}
-	} else {
+		p.Diameter = dist.Diameter
+		p.ASP = dist.ASP
+	}()
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if g.NumEdges() > 0 {
+			p.Reciprocity = float64(graph.ReciprocalEdgeCount(g)) / float64(2*g.NumEdges())
+			if g.Directed() {
+				p.Reciprocity = float64(graph.ReciprocalEdgeCount(g)) / float64(g.NumEdges())
+			}
+		}
+		p.Assortativity = graphalgo.DegreeAssortativity(g)
+		p.Degeneracy = graphalgo.MaxCore(g)
+		if gini, err := stats.Gini(stats.CountsToFloats(g.DegreeSequence())); err == nil {
+			p.DegreeGini = gini
+		}
+	}()
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		fit, err := fitInDegree(g, opts.FitXmin)
+		if err != nil {
+			// Degenerate degree data (e.g. regular graphs) is not fatal
+			// for a profile; the fit is simply absent.
+			if !errors.Is(err, powerlaw.ErrDegenerate) && !errors.Is(err, powerlaw.ErrEmptyTail) {
+				fitErr = fmt.Errorf("degree fit: %w", err)
+			}
+			return
+		}
 		p.DegreeFit = fit
-	}
+	}()
 
-	cc, err := graphalgo.SampledClustering(g, opts.ClusteringSamples, rng)
-	if err != nil {
-		return nil, fmt.Errorf("clustering sampling: %w", err)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		cc, err := graphalgo.SampledClustering(g, opts.ClusteringSamples, ccRNG)
+		if err != nil {
+			ccErr = fmt.Errorf("clustering sampling: %w", err)
+			return
+		}
+		summary, err := stats.Summarize(cc)
+		if err != nil {
+			ccErr = fmt.Errorf("clustering summary: %w", err)
+			return
+		}
+		cdf, err := stats.NewCDF(cc)
+		if err != nil {
+			ccErr = fmt.Errorf("clustering CDF: %w", err)
+			return
+		}
+		p.Clustering = summary
+		p.ClusteringCDF = cdf
+	}()
+
+	wg.Wait()
+	for _, err := range []error{distErr, fitErr, ccErr} {
+		if err != nil {
+			return nil, err
+		}
 	}
-	summary, err := stats.Summarize(cc)
-	if err != nil {
-		return nil, fmt.Errorf("clustering summary: %w", err)
-	}
-	p.Clustering = summary
 	return p, nil
 }
 

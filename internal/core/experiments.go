@@ -90,11 +90,11 @@ func runTable2(s *Suite, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	gpProfile, err := CharacterizeGraph(gp.Name, gp.Graph, s.profileOptions(), s.RNG(10))
+	gpProfile, err := s.Profile(gp)
 	if err != nil {
 		return fmt.Errorf("profile %s: %w", gp.Name, err)
 	}
-	crawlProfile, err := CharacterizeGraph(crawl.Name, crawl.Graph, s.profileOptions(), s.RNG(11))
+	crawlProfile, err := s.Profile(crawl)
 	if err != nil {
 		return fmt.Errorf("profile %s: %w", crawl.Name, err)
 	}
@@ -280,20 +280,22 @@ func runFig4(s *Suite, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	exp, err := MeasureClustering(gp.Graph, s.opts.ClusteringSamples, s.RNG(12))
+	// The memoized profile already sampled the clustering coefficients
+	// (shared with Table II), so Fig. 4 renders without a second sweep.
+	prof, err := s.Profile(gp)
 	if err != nil {
 		return err
 	}
 	if _, err := fmt.Fprintf(w,
 		"Clustering coefficient: mean %.4f (paper: 0.4901), median %.4f, stddev %.4f\n\n",
-		exp.Summary.Mean, exp.Summary.Median, exp.Summary.StdDev); err != nil {
+		prof.Clustering.Mean, prof.Clustering.Median, prof.Clustering.StdDev); err != nil {
 		return fmt.Errorf("fig4 summary: %w", err)
 	}
 	return report.AsciiPlot(w, report.PlotConfig{
 		Title:  "CDF of the clustering coefficient",
 		XLabel: "clustering coefficient",
 		YLabel: "P(X <= x)",
-	}, []report.Series{report.CDFSeries("vertices", exp.CDF)})
+	}, []report.Series{report.CDFSeries("vertices", prof.ClusteringCDF)})
 }
 
 func runFig5(s *Suite, w io.Writer) error {
@@ -303,6 +305,7 @@ func runFig5(s *Suite, w io.Writer) error {
 	}
 	res, err := CirclesVsRandom(gp, Fig5Options{
 		NullModelSamples: s.opts.NullModelSamples,
+		Context:          s.ScoreContext(gp.Graph),
 	}, s.RNG(13))
 	if err != nil {
 		return err
@@ -353,7 +356,7 @@ func runFig6(s *Suite, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	res, err := CrossNetwork(datasets, nil)
+	res, err := crossNetworkWith(datasets, nil, s.ScoreContext)
 	if err != nil {
 		return err
 	}
@@ -400,7 +403,11 @@ func runDirectedness(s *Suite, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		res, err := DirectednessCheck(ds, nil)
+		und, err := s.UndirectedProjection(ds)
+		if err != nil {
+			return err
+		}
+		res, err := directednessWith(ds, und, s.ScoreContext(ds.Graph), s.ScoreContext(und), nil)
 		if err != nil {
 			return err
 		}
@@ -449,15 +456,16 @@ func runSamplerAblation(s *Suite, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	walk, err := CirclesVsRandom(gp, Fig5Options{Sampler: sample.RandomWalkSet}, s.RNG(15))
+	ctx := s.ScoreContext(gp.Graph)
+	walk, err := CirclesVsRandom(gp, Fig5Options{Sampler: sample.RandomWalkSet, Context: ctx}, s.RNG(15))
 	if err != nil {
 		return err
 	}
-	uniform, err := CirclesVsRandom(gp, Fig5Options{Sampler: sample.UniformSet}, s.RNG(16))
+	uniform, err := CirclesVsRandom(gp, Fig5Options{Sampler: sample.UniformSet, Context: ctx}, s.RNG(16))
 	if err != nil {
 		return err
 	}
-	snowball, err := CirclesVsRandom(gp, Fig5Options{Sampler: sample.SnowballSet}, s.RNG(17))
+	snowball, err := CirclesVsRandom(gp, Fig5Options{Sampler: sample.SnowballSet, Context: ctx}, s.RNG(17))
 	if err != nil {
 		return err
 	}
@@ -534,7 +542,7 @@ func runExtendedScores(s *Suite, w io.Writer) error {
 		return err
 	}
 	fns := score.ExtendedFuncs()
-	res, err := CrossNetwork(datasets, fns)
+	res, err := crossNetworkWith(datasets, fns, s.ScoreContext)
 	if err != nil {
 		return err
 	}

@@ -75,6 +75,13 @@ type Fig5Options struct {
 	NullModelSamples int
 	// NullModelSwapsPerEdge tunes the rewiring chain (default 5).
 	NullModelSwapsPerEdge float64
+	// Context, when non-nil, supplies a shared (typically
+	// suite-memoized) scoring context. It is honored only when
+	// NullModelSamples == 0; the empirical null model always builds a
+	// private context so the shared one stays analytic.
+	Context *score.Context
+	// Workers bounds the scoring worker pool; 0 selects GOMAXPROCS.
+	Workers int
 }
 
 // CirclesVsRandom runs the Fig. 5 experiment: score the data set's groups
@@ -95,12 +102,16 @@ func CirclesVsRandom(ds *synth.Dataset, opts Fig5Options, rng *rand.Rand) (*Fig5
 		sampler = sample.RandomWalkSet
 	}
 
-	ctx, err := newScoringContext(ds.Graph, opts.NullModelSamples, opts.NullModelSwapsPerEdge, rng)
-	if err != nil {
-		return nil, err
+	ctx := opts.Context
+	if ctx == nil || opts.NullModelSamples > 0 {
+		var err error
+		ctx, err = newScoringContext(ds.Graph, opts.NullModelSamples, opts.NullModelSwapsPerEdge, rng)
+		if err != nil {
+			return nil, err
+		}
 	}
 
-	circleScores := score.EvaluateGroups(ctx, ds.Groups, fns)
+	circleScores := score.EvaluateGroupsParallel(ctx, ds.Groups, fns, opts.Workers)
 
 	sizes := ds.GroupSizes()
 	sets, err := sample.MatchSizes(ds.Graph, sizes, sampler, rng)
@@ -111,7 +122,7 @@ func CirclesVsRandom(ds *synth.Dataset, opts Fig5Options, rng *rand.Rand) (*Fig5
 	for i, members := range sets {
 		randomGroups[i] = score.Group{Name: fmt.Sprintf("random%04d", i), Members: members}
 	}
-	randomScores := score.EvaluateGroups(ctx, randomGroups, fns)
+	randomScores := score.EvaluateGroupsParallel(ctx, randomGroups, fns, opts.Workers)
 
 	res := &Fig5Result{Panels: make([]Fig5Panel, 0, len(fns))}
 	for _, f := range fns {
@@ -172,6 +183,12 @@ type DatasetDistribution struct {
 
 // CrossNetwork runs the Fig. 6 experiment over any number of data sets.
 func CrossNetwork(datasets []*synth.Dataset, fns []score.Func) (*Fig6Result, error) {
+	return crossNetworkWith(datasets, fns, score.NewContext)
+}
+
+// crossNetworkWith is CrossNetwork with an injectable context source, so
+// suite-driven runs reuse the memoized per-graph contexts.
+func crossNetworkWith(datasets []*synth.Dataset, fns []score.Func, ctxOf func(*graph.Graph) *score.Context) (*Fig6Result, error) {
 	if len(fns) == 0 {
 		fns = score.PaperFuncs()
 	}
@@ -182,8 +199,7 @@ func CrossNetwork(datasets []*synth.Dataset, fns []score.Func) (*Fig6Result, err
 		}
 		// The paper-scale community sets hold thousands of groups;
 		// worker-pool evaluation matches the serial results exactly.
-		ctx := score.NewContext(ds.Graph)
-		perDataset[i] = score.EvaluateGroupsParallel(ctx, ds.Groups, fns, 0)
+		perDataset[i] = score.EvaluateGroupsParallel(ctxOf(ds.Graph), ds.Groups, fns, 0)
 	}
 	res := &Fig6Result{Panels: make([]Fig6Panel, 0, len(fns))}
 	for _, f := range fns {
@@ -223,20 +239,30 @@ func DirectednessCheck(ds *synth.Dataset, fns []score.Func) (*DirectednessResult
 	if !ds.Graph.Directed() {
 		return nil, fmt.Errorf("directedness check: %s is already undirected", ds.Name)
 	}
+	und, err := graph.Undirected(ds.Graph)
+	if err != nil {
+		return nil, fmt.Errorf("projection: %w", err)
+	}
+	return directednessWith(ds, und, score.NewContext(ds.Graph), score.NewContext(und), fns)
+}
+
+// directednessWith is the DirectednessCheck body with the projection and
+// both scoring contexts injected, so suite-driven runs reuse the
+// memoized projection and contexts instead of rebuilding them.
+func directednessWith(ds *synth.Dataset, und *graph.Graph, dirCtx, undCtx *score.Context, fns []score.Func) (*DirectednessResult, error) {
+	if !ds.Graph.Directed() {
+		return nil, fmt.Errorf("directedness check: %s is already undirected", ds.Name)
+	}
 	if len(ds.Groups) == 0 {
 		return nil, fmt.Errorf("%w: %s", ErrNoGroups, ds.Name)
 	}
 	if len(fns) == 0 {
 		fns = score.PaperFuncs()
 	}
-	und, err := graph.Undirected(ds.Graph)
-	if err != nil {
-		return nil, fmt.Errorf("projection: %w", err)
-	}
 	// The projection preserves the vertex set and external IDs, so dense
 	// indices are identical and groups carry over unchanged.
-	dirScores := score.EvaluateGroups(score.NewContext(ds.Graph), ds.Groups, fns)
-	undScores := score.EvaluateGroups(score.NewContext(und), ds.Groups, fns)
+	dirScores := score.EvaluateGroupsParallel(dirCtx, ds.Groups, fns, 0)
+	undScores := score.EvaluateGroupsParallel(undCtx, ds.Groups, fns, 0)
 
 	res := &DirectednessResult{Dataset: ds.Name, PerFunc: make(map[string]float64, len(fns))}
 	var totalSum float64
@@ -286,13 +312,13 @@ func CompareNullModels(ds *synth.Dataset, samples int, swapsPerEdge float64, rng
 	}
 	mod := []score.Func{score.Modularity()}
 
-	analytic := score.EvaluateGroups(score.NewContext(ds.Graph), ds.Groups, mod)
+	analytic := score.EvaluateGroupsParallel(score.NewContext(ds.Graph), ds.Groups, mod, 0)
 
 	ctx, err := newScoringContext(ds.Graph, samples, swapsPerEdge, rng)
 	if err != nil {
 		return nil, err
 	}
-	empirical := score.EvaluateGroups(ctx, ds.Groups, mod)
+	empirical := score.EvaluateGroupsParallel(ctx, ds.Groups, mod, 0)
 
 	res := &NullModelAblation{Dataset: ds.Name}
 	for i := range analytic["modularity"] {

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+)
+
+// RunAllParallel executes every registered experiment like RunAll, but
+// fans the experiments out over a bounded worker pool of the given size
+// (workers <= 0 selects GOMAXPROCS; workers == 1 falls back to the
+// serial RunAll). Each experiment renders into a private in-memory
+// buffer, and the sections are emitted to w in registry order, so the
+// report is byte-identical to the serial run at the same seed.
+//
+// Correctness relies on two properties maintained by the rest of the
+// package: the Suite's lazy caches are generated exactly once under
+// concurrency, and every experiment derives its randomness from a
+// private Suite.RNG stream, so no experiment perturbs another.
+//
+// Error semantics mirror RunAll: the first failing experiment in
+// registry order aborts the report after its (possibly partial) section
+// has been written; later sections are discarded.
+func RunAllParallel(s *Suite, w io.Writer, workers int) error {
+	exps := Experiments()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+	if workers <= 1 {
+		return RunAll(s, w)
+	}
+
+	bufs := make([]bytes.Buffer, len(exps))
+	errs := make([]error, len(exps))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range next {
+				errs[idx] = exps[idx].Run(s, &bufs[idx])
+			}
+		}()
+	}
+	for idx := range exps {
+		next <- idx
+	}
+	close(next)
+	wg.Wait()
+
+	for i, e := range exps {
+		if _, err := fmt.Fprintf(w, "\n=== %s [%s] ===\n\n", e.Title, e.ID); err != nil {
+			return fmt.Errorf("experiment header: %w", err)
+		}
+		// Emit whatever the experiment managed to render before failing,
+		// matching the bytes a serial run would have produced.
+		if _, err := io.Copy(w, &bufs[i]); err != nil {
+			return fmt.Errorf("experiment %s output: %w", e.ID, err)
+		}
+		if errs[i] != nil {
+			return fmt.Errorf("experiment %s: %w", e.ID, errs[i])
+		}
+	}
+	return nil
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"gpluscircles/internal/report"
 )
@@ -82,8 +83,15 @@ func runRobustness(s *Suite, w io.Writer) error {
 	if _, err := fmt.Fprintln(w, "\nClaims that failed on some seed:"); err != nil {
 		return fmt.Errorf("robustness note: %w", err)
 	}
-	for id, count := range res.FailuresByClaim {
-		if _, err := fmt.Fprintf(w, "  %s: %d seed(s)\n", id, count); err != nil {
+	// Sorted for deterministic output (RunAllParallel asserts the report
+	// is byte-identical to the serial run).
+	ids := make([]string, 0, len(res.FailuresByClaim))
+	for id := range res.FailuresByClaim {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if _, err := fmt.Fprintf(w, "  %s: %d seed(s)\n", id, res.FailuresByClaim[id]); err != nil {
 			return fmt.Errorf("robustness note: %w", err)
 		}
 	}

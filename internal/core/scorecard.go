@@ -81,7 +81,7 @@ func Scorecard(s *Suite) ([]Claim, error) {
 	// scale-aware: small reductions of the data set are relatively
 	// denser, pushing clustering up, so below half scale only "moderate
 	// clustering, far from 0 and 1" is checked.
-	cl, err := MeasureClustering(gp.Graph, s.opts.ClusteringSamples, s.RNG(90))
+	prof, err := s.Profile(gp)
 	if err != nil {
 		return nil, err
 	}
@@ -92,13 +92,13 @@ func Scorecard(s *Suite) ([]Claim, error) {
 	claims = append(claims, Claim{
 		ID:        "fig4",
 		Statement: "Mean clustering coefficient near the paper's 0.49",
-		Measured:  fmt.Sprintf("%.3f (band %.2f-%.2f at this scale)", cl.Summary.Mean, ccLo, ccHi),
-		Holds:     cl.Summary.Mean > ccLo && cl.Summary.Mean < ccHi,
+		Measured:  fmt.Sprintf("%.3f (band %.2f-%.2f at this scale)", prof.Clustering.Mean, ccLo, ccHi),
+		Holds:     prof.Clustering.Mean > ccLo && prof.Clustering.Mean < ccHi,
 	})
 
 	// Claim 5 (Fig. 5): all four functions separate circles from random
 	// walks.
-	fig5, err := CirclesVsRandom(gp, Fig5Options{}, s.RNG(91))
+	fig5, err := CirclesVsRandom(gp, Fig5Options{Context: s.ScoreContext(gp.Graph)}, s.RNG(91))
 	if err != nil {
 		return nil, err
 	}
@@ -117,7 +117,7 @@ func Scorecard(s *Suite) ([]Claim, error) {
 
 	// Claim 6 (Fig. 6): circles ≫ communities on Ratio Cut; communities
 	// below circles on conductance.
-	fig6, err := CrossNetwork(datasets, nil)
+	fig6, err := crossNetworkWith(datasets, nil, s.ScoreContext)
 	if err != nil {
 		return nil, err
 	}
@@ -173,7 +173,11 @@ func Scorecard(s *Suite) ([]Claim, error) {
 	})
 
 	// Claim 7 (directedness): projection changes no conclusion.
-	dir, err := DirectednessCheck(gp, nil)
+	und, err := s.UndirectedProjection(gp)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := directednessWith(gp, und, s.ScoreContext(gp.Graph), s.ScoreContext(und), nil)
 	if err != nil {
 		return nil, err
 	}

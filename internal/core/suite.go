@@ -2,8 +2,12 @@ package core
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math/rand"
+	"sync"
 
+	"gpluscircles/internal/graph"
+	"gpluscircles/internal/score"
 	"gpluscircles/internal/synth"
 )
 
@@ -39,16 +43,48 @@ func (o SuiteOptions) withDefaults() SuiteOptions {
 	return o
 }
 
+// datasetCache memoizes one lazily generated data set.
+type datasetCache struct {
+	once sync.Once
+	ds   *synth.Dataset
+	err  error
+}
+
+// profileCache memoizes one CharacterizeGraph run.
+type profileCache struct {
+	once    sync.Once
+	profile *GraphProfile
+	err     error
+}
+
+// projectionCache memoizes one undirected projection.
+type projectionCache struct {
+	once sync.Once
+	g    *graph.Graph
+	err  error
+}
+
 // Suite generates and caches the synthetic data sets shared by the
-// experiments. Not safe for concurrent use.
+// experiments, plus the derived per-data-set state the experiments would
+// otherwise recompute: graph profiles (Table II / Fig. 4), analytic
+// scoring contexts, and undirected projections (Section IV-B).
+//
+// A Suite is safe for concurrent use: every lazy cache is guarded by a
+// sync.Once (or the suite mutex), so concurrent experiments generate each
+// data set and each derived artifact exactly once.
 type Suite struct {
 	opts SuiteOptions
 
-	gplus   *synth.Dataset
-	twitter *synth.Dataset
-	lj      *synth.Dataset
-	orkut   *synth.Dataset
-	crawl   *synth.Dataset
+	gplus   datasetCache
+	twitter datasetCache
+	lj      datasetCache
+	orkut   datasetCache
+	crawl   datasetCache
+
+	mu          sync.Mutex
+	profiles    map[*synth.Dataset]*profileCache
+	contexts    map[*graph.Graph]*score.Context
+	projections map[*synth.Dataset]*projectionCache
 }
 
 // NewSuite creates a Suite; data sets are generated lazily.
@@ -76,93 +112,93 @@ func (s *Suite) scaleInt(v int, floor int) int {
 
 // GPlus returns the Google+-like ego data set.
 func (s *Suite) GPlus() (*synth.Dataset, error) {
-	if s.gplus != nil {
-		return s.gplus, nil
-	}
-	cfg := synth.DefaultEgoConfig()
-	cfg.NumEgos = s.scaleInt(cfg.NumEgos, 6)
-	cfg.PoolSize = s.scaleInt(cfg.PoolSize, 200)
-	cfg.MeanEgoSize = s.scaleInt(cfg.MeanEgoSize, 30)
-	cfg.Seed = s.opts.Seed
-	ds, err := synth.GenerateEgo(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("generate Google+ data set: %w", err)
-	}
-	s.gplus = ds
-	return ds, nil
+	s.gplus.once.Do(func() {
+		cfg := synth.DefaultEgoConfig()
+		cfg.NumEgos = s.scaleInt(cfg.NumEgos, 6)
+		cfg.PoolSize = s.scaleInt(cfg.PoolSize, 200)
+		cfg.MeanEgoSize = s.scaleInt(cfg.MeanEgoSize, 30)
+		cfg.Seed = s.opts.Seed
+		ds, err := synth.GenerateEgo(cfg)
+		if err != nil {
+			s.gplus.err = fmt.Errorf("generate Google+ data set: %w", err)
+			return
+		}
+		s.gplus.ds = ds
+	})
+	return s.gplus.ds, s.gplus.err
 }
 
 // Twitter returns the Twitter-like follower data set.
 func (s *Suite) Twitter() (*synth.Dataset, error) {
-	if s.twitter != nil {
-		return s.twitter, nil
-	}
-	cfg := synth.DefaultFollowerConfig()
-	cfg.NumVertices = s.scaleInt(cfg.NumVertices, 400)
-	cfg.NumLists = s.scaleInt(cfg.NumLists, 20)
-	cfg.Seed = s.opts.Seed + 1
-	ds, err := synth.GenerateFollower(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("generate Twitter data set: %w", err)
-	}
-	s.twitter = ds
-	return ds, nil
+	s.twitter.once.Do(func() {
+		cfg := synth.DefaultFollowerConfig()
+		cfg.NumVertices = s.scaleInt(cfg.NumVertices, 400)
+		cfg.NumLists = s.scaleInt(cfg.NumLists, 20)
+		cfg.Seed = s.opts.Seed + 1
+		ds, err := synth.GenerateFollower(cfg)
+		if err != nil {
+			s.twitter.err = fmt.Errorf("generate Twitter data set: %w", err)
+			return
+		}
+		s.twitter.ds = ds
+	})
+	return s.twitter.ds, s.twitter.err
 }
 
 // LiveJournal returns the LiveJournal-like community data set.
 func (s *Suite) LiveJournal() (*synth.Dataset, error) {
-	if s.lj != nil {
-		return s.lj, nil
-	}
-	cfg := synth.DefaultLiveJournalConfig()
-	cfg.NumVertices = s.scaleInt(cfg.NumVertices, 1500)
-	cfg.NumCommunities = s.scaleInt(cfg.NumCommunities, 60)
-	if cfg.MaxCommunitySize > cfg.NumVertices/4 {
-		cfg.MaxCommunitySize = cfg.NumVertices / 4
-	}
-	cfg.Seed = s.opts.Seed + 2
-	ds, err := synth.GenerateAGM("LiveJournal", cfg)
-	if err != nil {
-		return nil, fmt.Errorf("generate LiveJournal data set: %w", err)
-	}
-	s.lj = ds
-	return ds, nil
+	s.lj.once.Do(func() {
+		cfg := synth.DefaultLiveJournalConfig()
+		cfg.NumVertices = s.scaleInt(cfg.NumVertices, 1500)
+		cfg.NumCommunities = s.scaleInt(cfg.NumCommunities, 60)
+		if cfg.MaxCommunitySize > cfg.NumVertices/4 {
+			cfg.MaxCommunitySize = cfg.NumVertices / 4
+		}
+		cfg.Seed = s.opts.Seed + 2
+		ds, err := synth.GenerateAGM("LiveJournal", cfg)
+		if err != nil {
+			s.lj.err = fmt.Errorf("generate LiveJournal data set: %w", err)
+			return
+		}
+		s.lj.ds = ds
+	})
+	return s.lj.ds, s.lj.err
 }
 
 // Orkut returns the Orkut-like community data set.
 func (s *Suite) Orkut() (*synth.Dataset, error) {
-	if s.orkut != nil {
-		return s.orkut, nil
-	}
-	cfg := synth.DefaultOrkutConfig()
-	cfg.NumVertices = s.scaleInt(cfg.NumVertices, 1500)
-	cfg.NumCommunities = s.scaleInt(cfg.NumCommunities, 60)
-	if cfg.MaxCommunitySize > cfg.NumVertices/4 {
-		cfg.MaxCommunitySize = cfg.NumVertices / 4
-	}
-	cfg.Seed = s.opts.Seed + 3
-	ds, err := synth.GenerateAGM("Orkut", cfg)
-	if err != nil {
-		return nil, fmt.Errorf("generate Orkut data set: %w", err)
-	}
-	s.orkut = ds
-	return ds, nil
+	s.orkut.once.Do(func() {
+		cfg := synth.DefaultOrkutConfig()
+		cfg.NumVertices = s.scaleInt(cfg.NumVertices, 1500)
+		cfg.NumCommunities = s.scaleInt(cfg.NumCommunities, 60)
+		if cfg.MaxCommunitySize > cfg.NumVertices/4 {
+			cfg.MaxCommunitySize = cfg.NumVertices / 4
+		}
+		cfg.Seed = s.opts.Seed + 3
+		ds, err := synth.GenerateAGM("Orkut", cfg)
+		if err != nil {
+			s.orkut.err = fmt.Errorf("generate Orkut data set: %w", err)
+			return
+		}
+		s.orkut.ds = ds
+	})
+	return s.orkut.ds, s.orkut.err
 }
 
 // Crawl returns the Magno-like BFS-crawl data set used by Table II.
 func (s *Suite) Crawl() (*synth.Dataset, error) {
-	if s.crawl != nil {
-		return s.crawl, nil
-	}
-	cfg := synth.DefaultCrawlConfig()
-	cfg.NumVertices = s.scaleInt(cfg.NumVertices, 2000)
-	cfg.Seed = s.opts.Seed + 4
-	ds, err := synth.GenerateCrawl(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("generate crawl data set: %w", err)
-	}
-	s.crawl = ds
-	return ds, nil
+	s.crawl.once.Do(func() {
+		cfg := synth.DefaultCrawlConfig()
+		cfg.NumVertices = s.scaleInt(cfg.NumVertices, 2000)
+		cfg.Seed = s.opts.Seed + 4
+		ds, err := synth.GenerateCrawl(cfg)
+		if err != nil {
+			s.crawl.err = fmt.Errorf("generate crawl data set: %w", err)
+			return
+		}
+		s.crawl.ds = ds
+	})
+	return s.crawl.ds, s.crawl.err
 }
 
 // AllGroupDatasets returns the four Table III data sets in paper order.
@@ -192,4 +228,75 @@ func (s *Suite) profileOptions() ProfileOptions {
 		DistanceSources:   s.opts.DistanceSources,
 		ClusteringSamples: s.opts.ClusteringSamples,
 	}
+}
+
+// profileStream derives a stable RNG stream label from a data-set name,
+// so a memoized profile is deterministic no matter which experiment
+// triggers it first.
+func profileStream(name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte("profile/" + name))
+	return int64(h.Sum64() >> 1)
+}
+
+// Profile returns the memoized CharacterizeGraph result for the data
+// set. Table II and Fig. 4 share one profile per graph instead of
+// re-running the BFS sweeps and clustering samples.
+func (s *Suite) Profile(ds *synth.Dataset) (*GraphProfile, error) {
+	s.mu.Lock()
+	if s.profiles == nil {
+		s.profiles = make(map[*synth.Dataset]*profileCache)
+	}
+	c := s.profiles[ds]
+	if c == nil {
+		c = &profileCache{}
+		s.profiles[ds] = c
+	}
+	s.mu.Unlock()
+	c.once.Do(func() {
+		c.profile, c.err = CharacterizeGraph(ds.Name, ds.Graph, s.profileOptions(), s.RNG(profileStream(ds.Name)))
+	})
+	return c.profile, c.err
+}
+
+// ScoreContext returns the memoized analytic scoring context for the
+// graph. The context's lazy caches (median degree, degree tables) are
+// synchronized, so concurrent experiments can score through it directly.
+// Experiments that need an empirical null model must build their own
+// context instead of mutating this shared one.
+func (s *Suite) ScoreContext(g *graph.Graph) *score.Context {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.contexts == nil {
+		s.contexts = make(map[*graph.Graph]*score.Context)
+	}
+	ctx := s.contexts[g]
+	if ctx == nil {
+		ctx = score.NewContext(g)
+		s.contexts[g] = ctx
+	}
+	return ctx
+}
+
+// UndirectedProjection returns the memoized undirected projection of the
+// data set's graph (Section IV-B). The projection preserves the vertex
+// set and external IDs, so groups carry over unchanged.
+func (s *Suite) UndirectedProjection(ds *synth.Dataset) (*graph.Graph, error) {
+	s.mu.Lock()
+	if s.projections == nil {
+		s.projections = make(map[*synth.Dataset]*projectionCache)
+	}
+	c := s.projections[ds]
+	if c == nil {
+		c = &projectionCache{}
+		s.projections[ds] = c
+	}
+	s.mu.Unlock()
+	c.once.Do(func() {
+		c.g, c.err = graph.Undirected(ds.Graph)
+		if c.err != nil {
+			c.err = fmt.Errorf("projection %s: %w", ds.Name, c.err)
+		}
+	})
+	return c.g, c.err
 }

@@ -11,7 +11,9 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
 
 	"gpluscircles/internal/graph"
 	"gpluscircles/internal/graphalgo"
@@ -304,20 +306,68 @@ func havelHakimi(deg []int) (*graph.Graph, error) {
 // of a vertex set across the samples. This is the empirical counterpart
 // of Context.ChungLuExpectation and plugs directly into
 // score.Context.NullExpectation.
+//
+// The samples are generated on a bounded worker pool sized to
+// GOMAXPROCS; see EmpiricalExpectationWorkers for an explicit worker
+// count. The returned estimator is safe for concurrent use.
 func EmpiricalExpectation(g *graph.Graph, samples int, swapsPerEdge float64, rng *rand.Rand) (func(set *graph.Set) float64, error) {
+	return EmpiricalExpectationWorkers(g, samples, swapsPerEdge, rng, 0)
+}
+
+// EmpiricalExpectationWorkers is EmpiricalExpectation with an explicit
+// worker-pool size (workers <= 0 selects GOMAXPROCS). Each Viger–Latapy
+// rewire sample is independent, so the samples fan out across workers;
+// every sample owns a child RNG seeded from the parent stream up front,
+// which makes the estimator deterministic for a given rng regardless of
+// worker count or scheduling.
+func EmpiricalExpectationWorkers(g *graph.Graph, samples int, swapsPerEdge float64, rng *rand.Rand, workers int) (func(set *graph.Set) float64, error) {
 	if rng == nil {
 		return nil, ErrNoRNG
 	}
 	if samples < 1 {
 		return nil, errors.New("nullmodel: need at least one sample")
 	}
+	// Draw every child seed from the parent stream before fanning out so
+	// sample i sees the same RNG no matter which worker runs it.
+	seeds := make([]int64, samples)
+	for i := range seeds {
+		seeds[i] = rng.Int63()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > samples {
+		workers = samples
+	}
+
 	randoms := make([]*graph.Graph, samples)
-	for i := range randoms {
-		rg, err := Rewire(g, swapsPerEdge, rng)
+	errs := make([]error, samples)
+	if workers <= 1 {
+		for i := range randoms {
+			randoms[i], errs[i] = Rewire(g, swapsPerEdge, rand.New(rand.NewSource(seeds[i])))
+		}
+	} else {
+		next := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					randoms[i], errs[i] = Rewire(g, swapsPerEdge, rand.New(rand.NewSource(seeds[i])))
+				}
+			}()
+		}
+		for i := range randoms {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("sample %d: %w", i, err)
 		}
-		randoms[i] = rg
 	}
 	return func(set *graph.Set) float64 {
 		var total float64

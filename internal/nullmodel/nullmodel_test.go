@@ -231,3 +231,67 @@ func TestQuickRewireInvariants(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestEmpiricalExpectationWorkersDeterministic asserts the parallel
+// sampler is invariant under worker count: every sample owns a child RNG
+// seeded from the parent stream up front, so the estimator must return
+// identical values for 1, 2 and 8 workers at the same seed.
+func TestEmpiricalExpectationWorkersDeterministic(t *testing.T) {
+	g := randomConnectedGraph(t, 31, 80, 240, true)
+	sets := make([]*graph.Set, 5)
+	rng := rand.New(rand.NewSource(9))
+	for i := range sets {
+		members := make([]graph.VID, 0, 12)
+		for len(members) < 12 {
+			members = append(members, graph.VID(rng.Intn(g.NumVertices())))
+		}
+		sets[i] = graph.SetOf(g, members)
+	}
+
+	var baseline []float64
+	for _, workers := range []int{1, 2, 8} {
+		est, err := EmpiricalExpectationWorkers(g, 6, 2, rand.New(rand.NewSource(123)), workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		vals := make([]float64, len(sets))
+		for i, set := range sets {
+			vals[i] = est(set)
+		}
+		if baseline == nil {
+			baseline = vals
+			continue
+		}
+		for i := range vals {
+			if vals[i] != baseline[i] {
+				t.Errorf("workers=%d set %d: %v, want %v (workers=1)", workers, i, vals[i], baseline[i])
+			}
+		}
+	}
+}
+
+// TestEmpiricalExpectationEstimatorConcurrent exercises the returned
+// estimator from multiple goroutines under -race.
+func TestEmpiricalExpectationEstimatorConcurrent(t *testing.T) {
+	g := randomConnectedGraph(t, 32, 60, 160, false)
+	est, err := EmpiricalExpectation(g, 4, 2, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := make([]graph.VID, 10)
+	for i := range members {
+		members[i] = graph.VID(i * 3)
+	}
+	set := graph.SetOf(g, members)
+	want := est(set)
+
+	done := make(chan float64, 6)
+	for i := 0; i < 6; i++ {
+		go func() { done <- est(set) }()
+	}
+	for i := 0; i < 6; i++ {
+		if got := <-done; got != want {
+			t.Errorf("concurrent estimate %v, want %v", got, want)
+		}
+	}
+}

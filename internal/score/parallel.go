@@ -38,17 +38,14 @@ func EvaluateGroupsParallel(ctx *Context, groups []Group, fns []Func, workers in
 		return out
 	}
 
-	// Warm lazily computed shared state before fan-out (FOMD reads the
-	// median degree; the null expectation closure must likewise be
-	// read-only, which both provided implementations are).
-	needsMedian := false
+	// Warm lazily computed shared state before fan-out so every worker
+	// hits a hot cache (the caches are synchronized, so this is an
+	// optimization, not a correctness requirement).
 	for _, f := range fns {
-		if f.Name == "fomd" {
-			needsMedian = true
+		if f.NeedsMedian {
+			ctx.MedianDegree()
+			break
 		}
-	}
-	if needsMedian {
-		ctx.MedianDegree()
 	}
 
 	next := make(chan int)

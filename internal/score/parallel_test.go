@@ -98,3 +98,45 @@ func TestQuickParallelEqualsSerial(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestNeedsMedianDeclared pins the declarative median dependency: FOMD
+// is the one registry function reading Context.MedianDegree, and the
+// parallel evaluator relies on the flag rather than name sniffing.
+func TestNeedsMedianDeclared(t *testing.T) {
+	for _, f := range AllFuncs() {
+		wantNeeds := f.Name == "fomd"
+		if f.NeedsMedian != wantNeeds {
+			t.Errorf("%s: NeedsMedian = %v, want %v", f.Name, f.NeedsMedian, wantNeeds)
+		}
+	}
+}
+
+// TestContextConcurrentLazyCaches hits the lazily computed context
+// caches (median degree, Chung-Lu degree tables) from many goroutines
+// under -race.
+func TestContextConcurrentLazyCaches(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	edges := make([][2]int64, 300)
+	for i := range edges {
+		edges[i] = [2]int64{rng.Int63n(50), rng.Int63n(50)}
+	}
+	g, err := graph.FromEdges(true, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := NewContext(g)
+	set := graph.SetOf(g, []graph.VID{1, 2, 3, 4, 5})
+	wantMed := NewContext(g).MedianDegree()
+	wantExp := NewContext(g).ChungLuExpectation(set)
+
+	done := make(chan [2]float64, 8)
+	for i := 0; i < 8; i++ {
+		go func() { done <- [2]float64{ctx.MedianDegree(), ctx.ChungLuExpectation(set)} }()
+	}
+	for i := 0; i < 8; i++ {
+		got := <-done
+		if got[0] != wantMed || got[1] != wantExp {
+			t.Errorf("concurrent caches: got (%v, %v), want (%v, %v)", got[0], got[1], wantMed, wantExp)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"gpluscircles/internal/graph"
 )
@@ -26,6 +27,12 @@ var ErrUnknownFunc = errors.New("score: unknown scoring function")
 // Context carries the host graph and shared statistics for scoring many
 // groups on the same graph. Create with NewContext; the zero value is not
 // usable.
+//
+// A Context is safe for concurrent use by multiple goroutines once
+// constructed: the lazily computed caches (median degree, per-vertex
+// degree tables) are synchronized, and the installed NullExpectation
+// implementations are read-only after construction. Callers that swap in
+// their own NullExpectation must do so before sharing the context.
 type Context struct {
 	G *graph.Graph
 
@@ -36,9 +43,17 @@ type Context struct {
 	// estimator built from Viger–Latapy samples (see package nullmodel).
 	NullExpectation func(set *graph.Set) float64
 
-	medianDegree    float64
-	medianComputed  bool
-	totalOutDegrees []int64 // prefix caches for Chung–Lu expectation
+	medianOnce   sync.Once
+	medianDegree float64
+
+	// Degree caches for ChungLuExpectation: looking the degrees up once
+	// per vertex and re-reading a flat float64 slice beats re-deriving
+	// them from the CSR offsets on every set evaluation. For directed
+	// graphs outDeg/inDeg hold out- and in-degrees; for undirected graphs
+	// outDeg holds the full degree and inDeg stays nil.
+	degOnce sync.Once
+	outDeg  []float64
+	inDeg   []float64
 }
 
 // NewContext builds a scoring context with the analytic null-model
@@ -50,9 +65,9 @@ func NewContext(g *graph.Graph) *Context {
 }
 
 // MedianDegree returns the median of d(v) over the whole graph, computed
-// once and cached. Used by the FOMD metric.
+// once and cached (goroutine-safe). Used by the FOMD metric.
 func (ctx *Context) MedianDegree() float64 {
-	if !ctx.medianComputed {
+	ctx.medianOnce.Do(func() {
 		seq := ctx.G.DegreeSequence()
 		sort.Ints(seq)
 		n := len(seq)
@@ -64,32 +79,55 @@ func (ctx *Context) MedianDegree() float64 {
 		default:
 			ctx.medianDegree = float64(seq[n/2-1]+seq[n/2]) / 2
 		}
-		ctx.medianComputed = true
-	}
+	})
 	return ctx.medianDegree
+}
+
+// degreeCaches materializes (once, goroutine-safe) the per-vertex degree
+// tables consumed by ChungLuExpectation.
+func (ctx *Context) degreeCaches() (out, in []float64) {
+	ctx.degOnce.Do(func() {
+		g := ctx.G
+		n := g.NumVertices()
+		ctx.outDeg = make([]float64, n)
+		if g.Directed() {
+			ctx.inDeg = make([]float64, n)
+			for v := 0; v < n; v++ {
+				ctx.outDeg[v] = float64(g.OutDegree(graph.VID(v)))
+				ctx.inDeg[v] = float64(g.InDegree(graph.VID(v)))
+			}
+			return
+		}
+		for v := 0; v < n; v++ {
+			ctx.outDeg[v] = float64(g.Degree(graph.VID(v)))
+		}
+	})
+	return ctx.outDeg, ctx.inDeg
 }
 
 // ChungLuExpectation returns the analytic expected internal edge count of
 // the set under a degree-preserving random graph: for directed graphs
 // E(m_C) = outSum(C)·inSum(C)/m, and for undirected graphs
-// E(m_C) = degSum(C)² / (4m).
+// E(m_C) = degSum(C)² / (4m). Degree sums read the cached per-vertex
+// degree tables, so scoring thousands of sets never re-walks the CSR
+// offsets.
 func (ctx *Context) ChungLuExpectation(set *graph.Set) float64 {
-	g := ctx.G
-	m := float64(g.NumEdges())
+	m := float64(ctx.G.NumEdges())
 	if m == 0 {
 		return 0
 	}
-	if g.Directed() {
+	outDeg, inDeg := ctx.degreeCaches()
+	if ctx.G.Directed() {
 		var outSum, inSum float64
 		for _, v := range set.Members() {
-			outSum += float64(g.OutDegree(v))
-			inSum += float64(g.InDegree(v))
+			outSum += outDeg[v]
+			inSum += inDeg[v]
 		}
 		return outSum * inSum / m
 	}
 	var degSum float64
 	for _, v := range set.Members() {
-		degSum += float64(g.Degree(v))
+		degSum += outDeg[v]
 	}
 	return degSum * degSum / (4 * m)
 }
@@ -105,6 +143,10 @@ type Func struct {
 	// score indicates community structure (e.g. Conductance), false when
 	// a high score does (e.g. Average Degree).
 	LowerIsCommunity bool
+	// NeedsMedian declares that Eval reads Context.MedianDegree, so
+	// parallel evaluators can warm the cache before fanning out instead
+	// of sniffing function names.
+	NeedsMedian bool
 	// Eval computes the score.
 	Eval func(ctx *Context, set *graph.Set, cut graph.CutStats) float64
 }

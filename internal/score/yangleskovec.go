@@ -58,8 +58,9 @@ func EdgesInside() Func {
 // High = community.
 func FractionOverMedianDegree() Func {
 	return Func{
-		Name:  "fomd",
-		Label: "Fraction over Median Degree",
+		Name:        "fomd",
+		Label:       "Fraction over Median Degree",
+		NeedsMedian: true,
 		Eval: func(ctx *Context, set *graph.Set, cut graph.CutStats) float64 {
 			if cut.N == 0 {
 				return 0
