@@ -5,9 +5,9 @@ BENCH_OUT ?= BENCH_$(DATE).json
 BENCH     ?= RunAll|EmpiricalExpectation|Characterize|PaperScores|ParallelScores
 BENCHTIME ?= 1x
 
-.PHONY: all build test race vet bench clean
+.PHONY: all build test race vet lint bench clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,13 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific determinism & concurrency checks (internal/lint):
+# maporder, globalrng, walltime, floateq, goroutineleak. Exits non-zero
+# with file:line diagnostics on any finding; suppress individual lines
+# with `//lint:ignore <check> <reason>`.
+lint:
+	$(GO) run ./cmd/circlelint .
 
 # Emits machine-readable benchmark records (one JSON event per line) so
 # runs on different machines/dates can be diffed with benchstat-style

@@ -1,0 +1,117 @@
+// Command circlelint runs the project's determinism and concurrency
+// static-analysis suite (internal/lint) over every package in the
+// module and reports findings as file:line:col diagnostics. It exits 1
+// when any finding survives, so `make lint` gates the build.
+//
+// Usage:
+//
+//	circlelint [-checks maporder,floateq] [-list] [dir]
+//
+// dir defaults to the current directory; the module root is located by
+// walking upward to the nearest go.mod. Findings are suppressed with
+//
+//	//lint:ignore <check> <reason>
+//
+// on the offending line or the line above it; the reason is mandatory.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"gpluscircles/internal/lint"
+)
+
+func main() {
+	code, err := run(os.Stdout, os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "circlelint:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// run executes the lint pass and returns the process exit code: 0 for a
+// clean tree, 1 when diagnostics were printed.
+func run(w *os.File, args []string) (int, error) {
+	fs := flag.NewFlagSet("circlelint", flag.ContinueOnError)
+	var (
+		checks = fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+		list   = fs.Bool("list", false, "list the available checks and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 0, err
+	}
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Fprintf(w, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0, nil
+	}
+	if fs.NArg() > 1 {
+		return 0, errors.New("usage: circlelint [flags] [dir]")
+	}
+	dir := "."
+	if fs.NArg() == 1 {
+		dir = fs.Arg(0)
+	}
+
+	analyzers, err := selectAnalyzers(*checks)
+	if err != nil {
+		return 0, err
+	}
+
+	root, err := lint.FindModuleRoot(dir)
+	if err != nil {
+		return 0, err
+	}
+	pkgs, err := lint.LoadModule(root)
+	if err != nil {
+		return 0, err
+	}
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Fprintln(w, relativize(root, d))
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(w, "circlelint: %d finding(s)\n", len(diags))
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// selectAnalyzers resolves the -checks flag to an analyzer list.
+func selectAnalyzers(spec string) ([]*lint.Analyzer, error) {
+	if spec == "" {
+		return lint.All(), nil
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a := lint.ByName(name)
+		if a == nil {
+			return nil, fmt.Errorf("unknown check %q (run with -list)", name)
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("-checks selected no analyzers")
+	}
+	return out, nil
+}
+
+// relativize shortens a diagnostic's filename to be root-relative for
+// stable, readable output.
+func relativize(root string, d lint.Diagnostic) string {
+	if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		d.Pos.Filename = rel
+	}
+	return d.String()
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gpluscircles/internal/lint"
+)
+
+func TestSelectAnalyzers(t *testing.T) {
+	all, err := selectAnalyzers("")
+	if err != nil || len(all) != len(lint.All()) {
+		t.Fatalf("default selection = %d analyzers, err %v", len(all), err)
+	}
+	two, err := selectAnalyzers("maporder, floateq")
+	if err != nil || len(two) != 2 {
+		t.Fatalf("subset selection = %v, err %v", two, err)
+	}
+	if _, err := selectAnalyzers("nosuchcheck"); err == nil {
+		t.Error("unknown check accepted")
+	}
+	if _, err := selectAnalyzers(","); err == nil {
+		t.Error("empty selection accepted")
+	}
+}
+
+// TestRunOnViolatingModule builds a throwaway module with one violation
+// of each class and checks the driver exits 1 with file:line diagnostics
+// — the fixture-style behavior the Makefile's lint target relies on.
+func TestRunOnViolatingModule(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module example.com/violating\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "bad.go"), `package violating
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func Bad(m map[string]int) {
+	for k := range m {
+		fmt.Println(k, rand.Intn(10), time.Now(), 0.1+rand.Float64() == 0.3)
+	}
+	go func() { fmt.Println("leaked") }()
+}
+`)
+
+	out, err := os.CreateTemp(t.TempDir(), "lintout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	code, runErr := run(out, []string{dir})
+	if runErr != nil {
+		t.Fatalf("run: %v", runErr)
+	}
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	data, err := os.ReadFile(out.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	for _, check := range []string{"maporder", "globalrng", "walltime", "floateq", "goroutineleak"} {
+		if !strings.Contains(text, check+":") {
+			t.Errorf("output missing %s diagnostic:\n%s", check, text)
+		}
+	}
+	if !strings.Contains(text, "bad.go:") {
+		t.Errorf("output missing file:line position:\n%s", text)
+	}
+}
+
+// TestRunOnCleanModule checks exit 0 and empty output for a clean tree.
+func TestRunOnCleanModule(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module example.com/clean\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "good.go"), `package clean
+
+import (
+	"fmt"
+	"sort"
+)
+
+func Good(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}
+`)
+
+	out, err := os.CreateTemp(t.TempDir(), "lintout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	code, runErr := run(out, []string{dir})
+	if runErr != nil {
+		t.Fatalf("run: %v", runErr)
+	}
+	if code != 0 {
+		data, _ := os.ReadFile(out.Name())
+		t.Fatalf("exit code = %d, want 0; output:\n%s", code, data)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

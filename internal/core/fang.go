@@ -213,6 +213,7 @@ func standardize(xs []float64) {
 		ss += (v - mean) * (v - mean)
 	}
 	sd := math.Sqrt(ss / float64(len(xs)))
+	//lint:ignore floateq exact-zero standard deviation means a constant sample; dividing by a near-zero sd is still well-defined
 	if sd == 0 {
 		return
 	}

@@ -273,6 +273,7 @@ func directednessWith(ds *synth.Dataset, und *graph.Graph, dirCtx, undCtx *score
 		for i := range dirScores[f.Name] {
 			a, b := dirScores[f.Name][i], undScores[f.Name][i]
 			den := math.Max(math.Abs(a), math.Abs(b))
+			//lint:ignore floateq max of two absolute values is exactly zero only when both scores are; guards 0/0
 			if den == 0 {
 				continue
 			}

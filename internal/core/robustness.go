@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
+	"sync"
 
 	"gpluscircles/internal/report"
 )
@@ -22,34 +24,98 @@ type RobustnessResult struct {
 	FailuresByClaim map[string]int
 }
 
-// MeasureRobustness reruns the scorecard for `seeds` consecutive seeds at
-// the suite's scale (fresh suites; the receiver's cached data sets are
-// not reused so each seed is independent).
+// MeasureRobustness reruns the scorecard for `seeds` consecutive seeds
+// at the suite's scale, fanning the seeds out over a worker pool sized
+// to GOMAXPROCS. Each seed builds a fresh independent Suite (the
+// receiver's cached data sets are not reused), so the per-seed runs
+// share no mutable state and the result is identical to a serial run.
 func MeasureRobustness(opts SuiteOptions, seeds int) (*RobustnessResult, error) {
+	return MeasureRobustnessWorkers(opts, seeds, 0)
+}
+
+// seedOutcome is one seed's scorecard tally before the deterministic
+// merge.
+type seedOutcome struct {
+	held      int
+	total     int
+	failedIDs []string
+	err       error
+}
+
+// MeasureRobustnessWorkers is MeasureRobustness with an explicit worker
+// count (workers <= 0 selects GOMAXPROCS; 1 runs serially). Per-seed
+// outcomes land in a slice indexed by seed offset and are merged in seed
+// order afterwards, so the result — including FailuresByClaim contents
+// and the first error selected — is byte-for-byte independent of the
+// worker count.
+func MeasureRobustnessWorkers(opts SuiteOptions, seeds, workers int) (*RobustnessResult, error) {
 	if seeds < 1 {
 		seeds = 3
 	}
-	res := &RobustnessResult{FailuresByClaim: map[string]int{}}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > seeds {
+		workers = seeds
+	}
 	base := opts.withDefaults()
-	for i := 0; i < seeds; i++ {
+
+	evalSeed := func(i int) seedOutcome {
 		seedOpts := base
 		seedOpts.Seed = base.Seed + int64(i)
 		s := NewSuite(seedOpts)
 		claims, err := Scorecard(s)
 		if err != nil {
-			return nil, fmt.Errorf("seed %d: %w", seedOpts.Seed, err)
+			return seedOutcome{err: fmt.Errorf("seed %d: %w", seedOpts.Seed, err)}
 		}
-		held := 0
+		out := seedOutcome{total: len(claims)}
 		for _, c := range claims {
 			if c.Holds {
-				held++
+				out.held++
 			} else {
-				res.FailuresByClaim[c.ID]++
+				out.failedIDs = append(out.failedIDs, c.ID)
 			}
 		}
-		res.Seeds = append(res.Seeds, seedOpts.Seed)
-		res.HeldPerSeed = append(res.HeldPerSeed, held)
-		res.TotalClaims = len(claims)
+		return out
+	}
+
+	outcomes := make([]seedOutcome, seeds)
+	if workers <= 1 {
+		for i := range outcomes {
+			outcomes[i] = evalSeed(i)
+		}
+	} else {
+		next := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					outcomes[i] = evalSeed(i)
+				}
+			}()
+		}
+		for i := range outcomes {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	// Deterministic merge in seed order: the first failing seed's error
+	// wins, exactly as the serial loop would have reported it.
+	res := &RobustnessResult{FailuresByClaim: map[string]int{}}
+	for i, out := range outcomes {
+		if out.err != nil {
+			return nil, out.err
+		}
+		for _, id := range out.failedIDs {
+			res.FailuresByClaim[id]++
+		}
+		res.Seeds = append(res.Seeds, base.Seed+int64(i))
+		res.HeldPerSeed = append(res.HeldPerSeed, out.held)
+		res.TotalClaims = out.total
 	}
 	return res, nil
 }
@@ -63,8 +129,15 @@ func runRobustness(s *Suite, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	return renderRobustness(res, opts.Scale, w)
+}
+
+// renderRobustness writes the robustness table and failure notes. Split
+// from runRobustness so tests can assert the rendering is byte-identical
+// across worker counts.
+func renderRobustness(res *RobustnessResult, scale float64, w io.Writer) error {
 	tbl := report.NewTable(
-		fmt.Sprintf("Scorecard robustness over %d seeds (scale %.2f)", len(res.Seeds), opts.Scale),
+		fmt.Sprintf("Scorecard robustness over %d seeds (scale %.2f)", len(res.Seeds), scale),
 		"Seed", "Claims held")
 	for i, seed := range res.Seeds {
 		tbl.AddRow(fmt.Sprintf("%d", seed),

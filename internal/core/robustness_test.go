@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -29,6 +30,49 @@ func TestMeasureRobustnessAllSeedsHold(t *testing.T) {
 	}
 	if totalFailures > 1 {
 		t.Errorf("claims failed %d times across seeds: %v", totalFailures, res.FailuresByClaim)
+	}
+}
+
+// TestMeasureRobustnessParallelMatchesSerial fans the per-seed
+// scorecards out over a worker pool and demands the result — and its
+// rendered report section — be byte-identical to the serial run. This
+// is the fan-out's correctness contract: parallelism must never show up
+// in the output.
+func TestMeasureRobustnessParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed rerun in -short mode")
+	}
+	opts := SuiteOptions{
+		Scale:             0.2,
+		Seed:              5,
+		DistanceSources:   8,
+		ClusteringSamples: 120,
+	}
+	const seeds = 4
+	serial, err := MeasureRobustnessWorkers(opts, seeds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, seeds, seeds + 3} {
+		parallel, err := MeasureRobustnessWorkers(opts, seeds, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Errorf("workers=%d: result diverged from serial:\nserial:   %+v\nparallel: %+v",
+				workers, serial, parallel)
+		}
+		var wantText, gotText strings.Builder
+		if err := renderRobustness(serial, opts.Scale, &wantText); err != nil {
+			t.Fatal(err)
+		}
+		if err := renderRobustness(parallel, opts.Scale, &gotText); err != nil {
+			t.Fatal(err)
+		}
+		if wantText.String() != gotText.String() {
+			t.Errorf("workers=%d: rendered section diverged from serial:\n--- serial\n%s\n--- parallel\n%s",
+				workers, wantText.String(), gotText.String())
+		}
 	}
 }
 

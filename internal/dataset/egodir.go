@@ -227,13 +227,20 @@ func WriteEgoDir(dir string, ds *synth.Dataset) error {
 		ego := grp.Name[:slash]
 		circlesByEgo[ego] = append(circlesByEgo[ego], grp)
 	}
-	for ego, circles := range circlesByEgo {
+	// Sorted ego order keeps file creation and first-error selection
+	// deterministic (map iteration order is randomized).
+	egos := make([]string, 0, len(circlesByEgo))
+	for ego := range circlesByEgo {
+		egos = append(egos, ego)
+	}
+	sort.Strings(egos)
+	for _, ego := range egos {
 		owner, ok := ownerOf[ego]
 		if !ok {
 			continue
 		}
 		path := filepath.Join(dir, fmt.Sprintf("%d.circles", g.ExternalID(owner)))
-		if err := writeEgoCircles(path, g, circles); err != nil {
+		if err := writeEgoCircles(path, g, circlesByEgo[ego]); err != nil {
 			return err
 		}
 	}

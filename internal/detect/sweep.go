@@ -50,11 +50,12 @@ func ConductanceSweep(g *graph.Graph, seed graph.VID, opts SweepOptions) (score.
 	boundary := cut.Boundary
 
 	conductanceOf := func(internal, boundary int64) float64 {
-		den := 2*float64(internal) + float64(boundary)
-		if den == 0 {
+		// Emptiness test in the integer domain (floateq): the
+		// denominator is zero exactly when both counts are.
+		if internal == 0 && boundary == 0 {
 			return 1
 		}
-		return float64(boundary) / den
+		return float64(boundary) / (2*float64(internal) + float64(boundary))
 	}
 
 	order := []graph.VID{seed}
@@ -118,6 +119,7 @@ func ConductanceSweep(g *graph.Graph, seed graph.VID, opts SweepOptions) (score.
 				continue // only attached vertices qualify
 			}
 			c := conductanceOf(internal+di, boundary+db)
+			//lint:ignore floateq deterministic tie-break: equal conductance falls through to the smaller vertex id
 			if c < bestNewCond || (c == bestNewCond && (best == -1 || w < best)) {
 				best, bestNewCond = w, c
 				bestDI, bestDB = di, db
@@ -150,10 +152,10 @@ func ConductanceSweep(g *graph.Graph, seed graph.VID, opts SweepOptions) (score.
 // (m_C − E(m_C))/m terms under the configuration-model expectation —
 // the standard quality measure for detected partitions.
 func PartitionModularity(ctx *score.Context, groups []score.Group) float64 {
-	m := float64(ctx.G.NumEdges())
-	if m == 0 {
+	if ctx.G.NumEdges() == 0 {
 		return 0
 	}
+	m := float64(ctx.G.NumEdges())
 	var q float64
 	for _, grp := range groups {
 		set := graph.SetOf(ctx.G, grp.Members)

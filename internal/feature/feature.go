@@ -225,6 +225,7 @@ func poisson(rng *rand.Rand, mean float64) int {
 // logUniform returns ln(U) for U ~ Uniform(0,1], avoiding log(0).
 func logUniform(rng *rand.Rand) float64 {
 	u := rng.Float64()
+	//lint:ignore floateq rand.Float64 can return exactly 0; guards log(0) without changing any other draw
 	if u == 0 {
 		u = 1e-300
 	}

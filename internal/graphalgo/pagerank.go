@@ -86,7 +86,8 @@ func PageRank(g *graph.Graph, opts PageRankOptions) ([]float64, error) {
 // convention of the Google+ measurement studies. Returns 0 for graphs
 // where either side has zero degree variance.
 func DegreeAssortativity(g *graph.Graph) float64 {
-	var n float64
+	// Sample count stays integer so the emptiness test is exact (floateq).
+	var count int64
 	var sumX, sumY, sumXY, sumX2, sumY2 float64
 	g.Edges(func(e graph.Edge) bool {
 		var x, y float64
@@ -98,14 +99,14 @@ func DegreeAssortativity(g *graph.Graph) float64 {
 			// correlation is symmetric.
 			x = float64(g.Degree(e.From))
 			y = float64(g.Degree(e.To))
-			n++
+			count++
 			sumX += y
 			sumY += x
 			sumXY += x * y
 			sumX2 += y * y
 			sumY2 += x * x
 		}
-		n++
+		count++
 		sumX += x
 		sumY += y
 		sumXY += x * y
@@ -113,9 +114,10 @@ func DegreeAssortativity(g *graph.Graph) float64 {
 		sumY2 += y * y
 		return true
 	})
-	if n == 0 {
+	if count == 0 {
 		return 0
 	}
+	n := float64(count)
 	cov := sumXY/n - (sumX/n)*(sumY/n)
 	varX := sumX2/n - (sumX/n)*(sumX/n)
 	varY := sumY2/n - (sumY/n)*(sumY/n)

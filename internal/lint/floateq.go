@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Floateq flags == and != between floating-point operands. Conductance
+// and ratio-cut scores accumulate rounding differently depending on
+// evaluation order, so exact equality silently turns into
+// worker-count-dependent behavior; comparisons must go through the
+// tolerance helpers in internal/stats. The helpers themselves (which
+// need exact fast paths for infinities and identical values) are the
+// only approved production site for these operators; test files are
+// exempt because determinism tests assert exact values by design.
+var Floateq = &Analyzer{
+	Name: "floateq",
+	Doc:  "== / != between floating-point operands outside internal/stats tolerance helpers",
+	Run:  runFloateq,
+}
+
+// floateqApproved names the tolerance helpers in internal/stats that may
+// compare floats exactly.
+var floateqApproved = map[string]bool{
+	"ApproxEqual": true,
+}
+
+func runFloateq(pass *Pass) {
+	pkg := pass.Pkg
+	inStats := strings.HasSuffix(pkg.Path, "internal/stats")
+	for _, f := range pkg.Files {
+		if isTestFile(pkg.Fset, f.Pos()) {
+			continue
+		}
+		// A stack of enclosing nodes so a comparison can be traced to
+		// its enclosing named function declaration.
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			xt, yt := pkg.Info.Types[bin.X], pkg.Info.Types[bin.Y]
+			if !isFloat(xt.Type) && !isFloat(yt.Type) {
+				return true
+			}
+			// Two constants compare exactly at compile time.
+			if xt.Value != nil && yt.Value != nil {
+				return true
+			}
+			if inStats && floateqApproved[enclosingFuncName(stack)] {
+				return true
+			}
+			pass.Reportf(bin.OpPos,
+				"%s between floats is rounding-sensitive; use the tolerance helpers in internal/stats (e.g. stats.ApproxEqual)", bin.Op)
+			return true
+		})
+	}
+}
+
+// enclosingFuncName returns the name of the innermost enclosing function
+// declaration on the node stack, or "" when the innermost enclosing
+// function is a literal or the node is at package level.
+func enclosingFuncName(stack []ast.Node) string {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Name.Name
+		case *ast.FuncLit:
+			return ""
+		}
+	}
+	return ""
+}

@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Globalrng flags randomness that escapes the seeded-child-RNG
+// discipline (internal/core/parallel.go): math/rand package-level
+// functions draw from a shared global source whose stream depends on
+// every other caller, and rand.New/rand.NewSource seeded from the wall
+// clock differ on every run. Deterministic kernels must thread an
+// explicit *rand.Rand derived from the suite seed. Test files are
+// exempt.
+var Globalrng = &Analyzer{
+	Name: "globalrng",
+	Doc:  "math/rand global-source functions and wall-clock-seeded rand.New/NewSource outside tests",
+	Run:  runGlobalrng,
+}
+
+// randConstructors are the math/rand functions that build an explicit
+// source instead of drawing from the global one.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+func isRandPkg(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+func runGlobalrng(pass *Pass) {
+	pkg := pass.Pkg
+	for _, f := range pkg.Files {
+		if isTestFile(pkg.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := calleeFunc(pkg, n)
+				if fn == nil || fn.Pkg() == nil || !isRandPkg(fn.Pkg().Path()) {
+					return true
+				}
+				// Constructors are the approved path — unless the seed
+				// itself is nondeterministic.
+				if randConstructors[fn.Name()] && wallClockArg(pkg, n) {
+					pass.Reportf(n.Pos(),
+						"rand.%s seeded from the wall clock is nondeterministic; derive the seed from the suite seed", fn.Name())
+				}
+			case *ast.Ident:
+				fn, ok := pkg.Info.Uses[n].(*types.Func)
+				if !ok || fn.Pkg() == nil || !isRandPkg(fn.Pkg().Path()) {
+					return true
+				}
+				sig, ok := fn.Type().(*types.Signature)
+				if !ok || sig.Recv() != nil || randConstructors[fn.Name()] {
+					return true
+				}
+				pass.Reportf(n.Pos(),
+					"rand.%s draws from the shared global source; thread an explicit seeded *rand.Rand instead", fn.Name())
+			}
+			return true
+		})
+	}
+}
+
+// wallClockArg reports whether any argument of call involves time.Now.
+func wallClockArg(pkg *Package, call *ast.CallExpr) bool {
+	found := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if inner, ok := n.(*ast.CallExpr); ok {
+				if fn := calleeFunc(pkg, inner); isPkgFunc(fn, "time", "Now") {
+					found = true
+				}
+			}
+			return !found
+		})
+	}
+	return found
+}

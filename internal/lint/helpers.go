@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// funcNode is one function body under analysis: a declaration or a
+// literal, with a printable name for diagnostics.
+type funcNode struct {
+	node ast.Node
+	body *ast.BlockStmt
+	name string
+}
+
+// functions yields every function declaration and function literal in
+// the package, in source order.
+func functions(pkg *Package) []funcNode {
+	var fns []funcNode
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					fns = append(fns, funcNode{node: fn, body: fn.Body, name: fn.Name.Name})
+				}
+			case *ast.FuncLit:
+				fns = append(fns, funcNode{node: fn, body: fn.Body, name: "function literal"})
+			}
+			return true
+		})
+	}
+	return fns
+}
+
+// inspectShallow walks the statements of body but does not descend into
+// nested function literals, whose statements belong to the nested
+// function, not this one.
+func inspectShallow(body ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != body {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes,
+// or nil for calls through function-typed values, conversions, and
+// builtins.
+func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = pkg.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pkg.Info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether fn is the package-level function path.name.
+func isPkgFunc(fn *types.Func, path, name string) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Pkg().Path() != path || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// ioWriterType is a structural stand-in for io.Writer, so analyzers can
+// test "implements io.Writer" without importing io's type data.
+var ioWriterType = func() *types.Interface {
+	errType := types.Universe.Lookup("error").Type()
+	sig := types.NewSignatureType(nil, nil, nil,
+		types.NewTuple(types.NewVar(token.NoPos, nil, "p", types.NewSlice(types.Typ[types.Byte]))),
+		types.NewTuple(
+			types.NewVar(token.NoPos, nil, "n", types.Typ[types.Int]),
+			types.NewVar(token.NoPos, nil, "err", errType),
+		), false)
+	iface := types.NewInterfaceType([]*types.Func{
+		types.NewFunc(token.NoPos, nil, "Write", sig),
+	}, nil)
+	iface.Complete()
+	return iface
+}()
+
+// implementsWriter reports whether t (or *t) satisfies io.Writer.
+func implementsWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if types.Implements(t, ioWriterType) {
+		return true
+	}
+	if _, ok := t.(*types.Pointer); !ok {
+		return types.Implements(types.NewPointer(t), ioWriterType)
+	}
+	return false
+}
+
+// isFloat reports whether t's core type is a floating-point scalar.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0 && basic.Info()&types.IsComplex == 0
+}
+
+// exprObj resolves an expression to the variable object it denotes, or
+// nil for anything that is not a plain identifier.
+func exprObj(pkg *Package, e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := pkg.Info.Uses[id].(*types.Var)
+	if v == nil {
+		v, _ = pkg.Info.Defs[id].(*types.Var)
+	}
+	return v
+}

@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// ignorePrefix opens a suppression directive:
+//
+//	//lint:ignore <check> <reason>
+//
+// The directive silences diagnostics of the named check on its own line
+// and on the line immediately below, so it works both as a trailing
+// comment and as a comment above the offending statement. The reason is
+// mandatory: a suppression nobody can justify is a suppression nobody
+// can audit.
+const ignorePrefix = "//lint:ignore"
+
+// ignoreSet indexes the directives of one package by file, line and
+// check name.
+type ignoreSet struct {
+	// byLine maps filename -> line -> set of suppressed check names.
+	byLine    map[string]map[int]map[string]bool
+	malformed []Diagnostic
+}
+
+func (s *ignoreSet) suppresses(d Diagnostic) bool {
+	lines := s.byLine[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		if lines[line][d.Check] {
+			return true
+		}
+	}
+	return false
+}
+
+// collectIgnores scans every comment in the package for directives.
+func collectIgnores(pkg *Package) *ignoreSet {
+	set := &ignoreSet{byLine: make(map[string]map[int]map[string]bool)}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				fields := strings.Fields(rest)
+				pos := pkg.Fset.Position(c.Pos())
+				if len(fields) < 2 {
+					set.malformed = append(set.malformed, Diagnostic{
+						Pos:     pos,
+						Check:   "ignore",
+						Message: "malformed directive: want //lint:ignore <check> <reason>",
+					})
+					continue
+				}
+				check := fields[0]
+				if ByName(check) == nil {
+					set.malformed = append(set.malformed, Diagnostic{
+						Pos:     pos,
+						Check:   "ignore",
+						Message: "directive names unknown check " + strconv.Quote(check),
+					})
+					continue
+				}
+				lines := set.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					set.byLine[pos.Filename] = lines
+				}
+				checks := lines[pos.Line]
+				if checks == nil {
+					checks = make(map[string]bool)
+					lines[pos.Line] = checks
+				}
+				checks[check] = true
+			}
+		}
+	}
+	return set
+}
+
+// isTestFile reports whether pos sits in a _test.go file.
+func isTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}

@@ -1,0 +1,133 @@
+// Package lint implements circlelint, the project's determinism and
+// concurrency static-analysis pass. It is built purely on the standard
+// library (go/parser, go/ast, go/types, go/importer) because the module
+// carries zero third-party dependencies and must stay that way.
+//
+// The reproduction's headline guarantee is byte-identical reports at a
+// given seed regardless of worker count. That property is easy to break
+// silently — an unordered map iteration feeding a report, a wall-clock
+// seed, a float equality test on the edge of rounding — so the checks
+// here enforce it mechanically instead of by code review:
+//
+//	maporder      range over a map feeding an output sink or returned slice
+//	globalrng     math/rand global functions and wall-clock-seeded sources
+//	walltime      time.Now / time.Since in non-test code
+//	floateq       == / != between floating-point operands
+//	goroutineleak go statements with no visible join in the function
+//
+// A finding can be suppressed with a directive comment on the offending
+// line or the line above it:
+//
+//	//lint:ignore <check> <reason>
+//
+// The reason is mandatory; a directive without one is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one finding at a resolved source position.
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+// String formats the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Pass carries one analyzer's run over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic for the running analyzer at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     p.Pkg.Fset.Position(pos),
+		Check:   p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one named check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Maporder,
+		Globalrng,
+		Walltime,
+		Floateq,
+		Goroutineleak,
+	}
+}
+
+// ByName returns the named analyzer, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Run executes every analyzer over every package, applies the
+// //lint:ignore directives, and returns the surviving diagnostics sorted
+// by position then check name.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ign := collectIgnores(pkg)
+		diags = append(diags, ign.malformed...)
+		var pkgDiags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &pkgDiags}
+			a.Run(pass)
+		}
+		for _, d := range pkgDiags {
+			if !ign.suppresses(d) {
+				diags = append(diags, d)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return diags
+}

@@ -1,0 +1,305 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// moduleImporter resolves imports during type-checking. Module-internal
+// packages come from the packages checked so far (LoadModule checks in
+// dependency order, so a referenced package is always already present);
+// everything else is the standard library, resolved through the
+// compiler's export data with a from-source fallback for toolchains
+// that don't ship it.
+type moduleImporter struct {
+	fset *token.FileSet
+	mod  map[string]*types.Package
+	std  types.Importer
+	src  types.Importer
+}
+
+func newModuleImporter(fset *token.FileSet) *moduleImporter {
+	return &moduleImporter{
+		fset: fset,
+		mod:  make(map[string]*types.Package),
+		std:  importer.Default(),
+	}
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := m.mod[path]; ok {
+		return pkg, nil
+	}
+	if pkg, err := m.std.Import(path); err == nil {
+		return pkg, nil
+	}
+	if m.src == nil {
+		m.src = importer.ForCompiler(m.fset, "source", nil)
+	}
+	return m.src.Import(path)
+}
+
+// rawPackage is one directory's worth of parsed-but-unchecked files.
+type rawPackage struct {
+	path    string // import path ("example.com/mod/internal/foo")
+	name    string // package name ("foo" or "foo_test")
+	files   []*ast.File
+	imports map[string]bool
+}
+
+// FindModuleRoot walks upward from dir to the nearest go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// modulePath extracts the module path from a go.mod file without
+// depending on golang.org/x/mod.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			mod := strings.TrimSpace(rest)
+			if unq, err := strconv.Unquote(mod); err == nil {
+				mod = unq
+			}
+			if mod != "" {
+				return mod, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("no module directive in %s", gomod)
+}
+
+// LoadModule parses and type-checks every package under the module root
+// (including test files; external _test packages are loaded as their own
+// packages). Directories named testdata, hidden directories, and .git
+// are skipped, matching the go tool's conventions.
+func LoadModule(root string) ([]*Package, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	var raws []*rawPackage
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		base := filepath.Base(path)
+		if path != root && (base == "testdata" || strings.HasPrefix(base, ".") || strings.HasPrefix(base, "_")) {
+			return filepath.SkipDir
+		}
+		dirPkgs, err := parseDir(fset, mod, root, path)
+		if err != nil {
+			return err
+		}
+		raws = append(raws, dirPkgs...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	ordered, err := topoSort(raws)
+	if err != nil {
+		return nil, err
+	}
+
+	imp := newModuleImporter(fset)
+	var pkgs []*Package
+	for _, raw := range ordered {
+		pkg, err := check(fset, imp, raw)
+		if err != nil {
+			return nil, err
+		}
+		// External test packages ("foo_test") are analyzable but never
+		// importable, so only in-package results feed the importer.
+		if !strings.HasSuffix(raw.name, "_test") {
+			imp.mod[raw.path] = pkg.Types
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadPackageDir parses and type-checks a single directory as one
+// package with the given import path. Used by the analyzer fixture
+// tests, whose testdata packages only import the standard library.
+func LoadPackageDir(dir, importPath string) (*Package, error) {
+	fset := token.NewFileSet()
+	raws, err := parseDir(fset, "", "", dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(raws) != 1 {
+		return nil, fmt.Errorf("%s: want exactly one package, got %d", dir, len(raws))
+	}
+	raws[0].path = importPath
+	return check(fset, newModuleImporter(fset), raws[0])
+}
+
+// parseDir parses every .go file in dir (non-recursively) and groups the
+// files into at most two raw packages: the primary package and, when
+// present, the external "_test" package.
+func parseDir(fset *token.FileSet, mod, root, dir string) ([]*rawPackage, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	byName := make(map[string]*rawPackage)
+	var order []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		file, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		name := file.Name.Name
+		raw := byName[name]
+		if raw == nil {
+			path := name
+			if mod != "" {
+				rel, err := filepath.Rel(root, dir)
+				if err != nil {
+					return nil, err
+				}
+				path = mod
+				if rel != "." {
+					path = mod + "/" + filepath.ToSlash(rel)
+				}
+				if strings.HasSuffix(name, "_test") {
+					path += ".test"
+				}
+			}
+			raw = &rawPackage{path: path, name: name, imports: make(map[string]bool)}
+			byName[name] = raw
+			order = append(order, name)
+		}
+		raw.files = append(raw.files, file)
+		for _, spec := range file.Imports {
+			p, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad import %s", e.Name(), spec.Path.Value)
+			}
+			raw.imports[p] = true
+		}
+	}
+	sort.Strings(order)
+	var raws []*rawPackage
+	for _, name := range order {
+		raws = append(raws, byName[name])
+	}
+	return raws, nil
+}
+
+// topoSort orders the raw packages so every module-internal import is
+// checked before its importer. Standard-library imports are ignored —
+// the importer resolves those on demand.
+func topoSort(raws []*rawPackage) ([]*rawPackage, error) {
+	// External test packages sort after everything since they can import
+	// any module package but never appear as an import themselves.
+	byPath := make(map[string]*rawPackage, len(raws))
+	for _, r := range raws {
+		byPath[r.path] = r
+	}
+	var ordered []*rawPackage
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(r *rawPackage) error
+	visit = func(r *rawPackage) error {
+		switch state[r.path] {
+		case 1:
+			return fmt.Errorf("import cycle through %s", r.path)
+		case 2:
+			return nil
+		}
+		state[r.path] = 1
+		deps := make([]string, 0, len(r.imports))
+		for p := range r.imports {
+			deps = append(deps, p)
+		}
+		sort.Strings(deps)
+		for _, p := range deps {
+			if dep, ok := byPath[p]; ok {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[r.path] = 2
+		ordered = append(ordered, r)
+		return nil
+	}
+	// Stable input order: primary packages sorted by path, then the
+	// external test packages.
+	sorted := make([]*rawPackage, len(raws))
+	copy(sorted, raws)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].path < sorted[j].path })
+	for _, r := range sorted {
+		if err := visit(r); err != nil {
+			return nil, err
+		}
+	}
+	return ordered, nil
+}
+
+// check type-checks one raw package.
+func check(fset *token.FileSet, imp types.Importer, raw *rawPackage) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(raw.path, fset, raw.files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("type-check %s: %w", raw.path, typeErrs[0])
+	}
+	return &Package{
+		Path:  raw.path,
+		Fset:  fset,
+		Files: raw.files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}

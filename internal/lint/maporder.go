@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Maporder flags `range` over a map whose iteration order can leak into
+// program output: a loop body that writes to an io.Writer / fmt sink, or
+// a loop that appends into a slice the enclosing function returns
+// without sorting it first. Go randomizes map iteration order on every
+// run, so either pattern breaks the byte-identical-report guarantee —
+// this is the exact bug class once fixed by hand in runRobustness.
+var Maporder = &Analyzer{
+	Name: "maporder",
+	Doc:  "range over a map feeding an output sink or an unsorted returned slice",
+	Run:  runMaporder,
+}
+
+func runMaporder(pass *Pass) {
+	for _, fn := range functions(pass.Pkg) {
+		fn := fn
+		inspectShallow(fn.body, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Pkg.Info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if sink, what := outputSink(pass.Pkg, rng.Body); sink {
+				pass.Reportf(rng.Pos(),
+					"map iteration order is randomized but this loop writes to %s; iterate over sorted keys instead", what)
+				return true
+			}
+			for _, target := range appendTargets(pass.Pkg, rng.Body) {
+				if returnsVar(pass.Pkg, fn.body, target) && !sortedInFunc(pass.Pkg, fn.body, target) {
+					pass.Reportf(rng.Pos(),
+						"map iteration order is randomized but this loop builds returned slice %q without sorting it; sort before returning", target.Name())
+				}
+			}
+			return true
+		})
+	}
+}
+
+// outputSink reports whether body contains a write to an ordered output:
+// an fmt formatting call or a Write* method on an io.Writer.
+func outputSink(pkg *Package, body ast.Node) (bool, string) {
+	found := false
+	what := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pkg, call)
+		if fn == nil {
+			return true
+		}
+		if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && isFormatting(fn.Name()) {
+			found, what = true, "fmt."+fn.Name()
+			return false
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil &&
+			strings.HasPrefix(fn.Name(), "Write") && implementsWriter(sig.Recv().Type()) {
+			found, what = true, "an io.Writer via "+fn.Name()
+			return false
+		}
+		return true
+	})
+	return found, what
+}
+
+// isFormatting reports whether name is an fmt function that renders its
+// operands (Print*, Fprint*, Sprint*, Errorf, Append*).
+func isFormatting(name string) bool {
+	for _, prefix := range []string{"Print", "Fprint", "Sprint", "Errorf", "Append"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// appendTargets returns the variables that body grows via x = append(x, ...).
+func appendTargets(pkg *Package, body ast.Node) []*types.Var {
+	var targets []*types.Var
+	seen := make(map[*types.Var]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || (asg.Tok != token.ASSIGN && asg.Tok != token.DEFINE) {
+			return true
+		}
+		for i, rhs := range asg.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "append" || pkg.Info.Uses[id] != types.Universe.Lookup("append") {
+				continue
+			}
+			if i >= len(asg.Lhs) {
+				continue
+			}
+			if v := exprObj(pkg, asg.Lhs[i]); v != nil && !seen[v] {
+				seen[v] = true
+				targets = append(targets, v)
+			}
+		}
+		return true
+	})
+	return targets
+}
+
+// returnsVar reports whether any return statement in the function body
+// mentions v.
+func returnsVar(pkg *Package, body ast.Node, v *types.Var) bool {
+	found := false
+	inspectShallow(body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return !found
+		}
+		for _, res := range ret.Results {
+			ast.Inspect(res, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && pkg.Info.Uses[id] == v {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// sortedInFunc reports whether the function body passes v to a sort or
+// slices ordering function before use.
+func sortedInFunc(pkg *Package, body ast.Node, v *types.Var) bool {
+	found := false
+	inspectShallow(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		fn := calleeFunc(pkg, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if exprObj(pkg, arg) == v {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

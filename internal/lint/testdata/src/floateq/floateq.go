@@ -1,0 +1,44 @@
+// Fixture for the floateq check.
+package floateq
+
+import "math"
+
+// BadEqual compares floats exactly.
+func BadEqual(a, b float64) bool {
+	return a == b // want floateq
+}
+
+// BadNotEqual compares floats exactly with !=.
+func BadNotEqual(a, b float32) bool {
+	return a != b // want floateq
+}
+
+// BadZeroTest compares a computed float against a constant.
+func BadZeroTest(xs []float64) bool {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum == 0 // want floateq
+}
+
+// GoodTolerance compares through an explicit tolerance.
+func GoodTolerance(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9
+}
+
+// GoodInts compares integers, which are exact.
+func GoodInts(a, b int) bool {
+	return a == b
+}
+
+// GoodConstants folds at compile time.
+func GoodConstants() bool {
+	return 0.1+0.2 != 0.3
+}
+
+// IgnoredSentinel shows the escape hatch.
+func IgnoredSentinel(x float64) bool {
+	//lint:ignore floateq NaN self-test requires exact comparison
+	return x != x
+}

@@ -1,0 +1,27 @@
+// Fixture for the floateq allowlist: loaded under an import path ending
+// in internal/stats, where the approved tolerance helpers may compare
+// floats exactly. Only the allowlisted helper is exempt.
+package stats
+
+import "math"
+
+// ApproxEqual is the approved tolerance helper; its exact fast path must
+// not be flagged.
+func ApproxEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol
+}
+
+// Mean is not an approved helper, even inside internal/stats.
+func Mean(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	if sum == 0 { // want floateq
+		return 0
+	}
+	return sum / float64(len(xs))
+}

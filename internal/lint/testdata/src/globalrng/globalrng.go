@@ -1,0 +1,44 @@
+// Fixture for the globalrng check.
+package globalrng
+
+import (
+	"math/rand"
+	"time"
+)
+
+// BadGlobal draws from the shared global source.
+func BadGlobal() int {
+	return rand.Intn(10) // want globalrng
+}
+
+// BadGlobalFloat draws a float from the global source.
+func BadGlobalFloat() float64 {
+	return rand.Float64() // want globalrng
+}
+
+// BadGlobalShuffle shuffles through the global source.
+func BadGlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want globalrng
+}
+
+// BadWallClockSeed builds an explicit source but seeds it from the wall
+// clock, so every run still differs.
+func BadWallClockSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want globalrng
+}
+
+// GoodSeeded builds a deterministic source from an explicit seed.
+func GoodSeeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// GoodThreaded consumes an explicitly threaded RNG.
+func GoodThreaded(rng *rand.Rand) int {
+	return rng.Intn(10)
+}
+
+// IgnoredGlobal shows the escape hatch.
+func IgnoredGlobal() int {
+	//lint:ignore globalrng demo code where reproducibility is irrelevant
+	return rand.Intn(10)
+}

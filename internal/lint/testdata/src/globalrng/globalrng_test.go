@@ -1,0 +1,9 @@
+// Test files are exempt from globalrng: fixture asserts no diagnostics
+// here despite global-source draws.
+package globalrng
+
+import "math/rand"
+
+func helperForTests() int {
+	return rand.Intn(10)
+}

@@ -1,0 +1,68 @@
+// Fixture for the goroutineleak check.
+package goroutineleak
+
+import "sync"
+
+func work(i int) int { return i * i }
+
+// BadFireAndForget spawns a goroutine nothing ever joins.
+func BadFireAndForget(results []int) {
+	go func() { // want goroutineleak
+		for i := range results {
+			results[i] = work(i)
+		}
+	}()
+}
+
+// BadDetachedProducer hands back a channel but shows no join itself and
+// no guarantee the consumer drains it.
+func BadDetachedProducer(done *bool) {
+	go func() { *done = true }() // want goroutineleak
+}
+
+// GoodWaitGroup joins through a WaitGroup before returning.
+func GoodWaitGroup(n int) []int {
+	out := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = work(i)
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// GoodChannelJoin joins by receiving the goroutine's result.
+func GoodChannelJoin() int {
+	ch := make(chan int)
+	go func() { ch <- work(3) }()
+	return <-ch
+}
+
+// GoodRangeJoin drains a channel the goroutine closes.
+func GoodRangeJoin(n int) int {
+	ch := make(chan int)
+	go func() {
+		defer close(ch)
+		for i := 0; i < n; i++ {
+			ch <- work(i)
+		}
+	}()
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	return total
+}
+
+// IgnoredDaemon shows the escape hatch for intentional daemons.
+func IgnoredDaemon(tick chan int) {
+	//lint:ignore goroutineleak metrics daemon runs for the process lifetime
+	go func() {
+		for range tick {
+		}
+	}()
+}

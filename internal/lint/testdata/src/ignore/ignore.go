@@ -1,0 +1,23 @@
+// Fixture for the //lint:ignore directive machinery itself.
+package ignore
+
+import "time"
+
+// ReasonLess has a directive with no reason: the directive is reported
+// and the finding it targeted still fires.
+func ReasonLess() time.Time {
+	//lint:ignore walltime
+	return time.Now()
+}
+
+// UnknownCheck names a check that does not exist.
+func UnknownCheck() int {
+	//lint:ignore nosuchcheck because reasons
+	return 1
+}
+
+// WellFormed suppresses cleanly.
+func WellFormed() time.Time {
+	//lint:ignore walltime fixture demonstrating a valid suppression
+	return time.Now()
+}

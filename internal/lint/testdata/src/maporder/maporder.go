@@ -1,0 +1,89 @@
+// Fixture for the maporder check. Lines tagged `// want maporder`
+// expect a diagnostic; untagged map iterations are the approved
+// patterns.
+package maporder
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// BadPrint iterates a map straight into fmt output.
+func BadPrint(m map[string]int) {
+	for k, v := range m { // want maporder
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+// BadWriter iterates a map into an io.Writer.
+func BadWriter(w io.Writer, m map[string]int) {
+	for k := range m { // want maporder
+		w.Write([]byte(k))
+	}
+}
+
+// BadBuilder iterates a map into a strings.Builder.
+func BadBuilder(m map[string]int) string {
+	var sb strings.Builder
+	for k := range m { // want maporder
+		sb.WriteString(k)
+	}
+	return sb.String()
+}
+
+// BadReturnedSlice returns a slice built from unsorted map iteration.
+func BadReturnedSlice(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want maporder
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// GoodSortedKeys collects keys, sorts, then emits in order.
+func GoodSortedKeys(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// GoodSortedReturn sorts the collected keys before returning them.
+func GoodSortedReturn(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// GoodAggregate only folds the values, where order cannot matter.
+func GoodAggregate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// GoodSliceRange ranges over a slice, which is ordered.
+func GoodSliceRange(w io.Writer, xs []string) {
+	for _, x := range xs {
+		fmt.Fprintln(w, x)
+	}
+}
+
+// IgnoredPrint shows the escape hatch.
+func IgnoredPrint(m map[string]int) {
+	//lint:ignore maporder order does not matter for this debug dump
+	for k := range m {
+		fmt.Println(k)
+	}
+}

@@ -1,0 +1,30 @@
+// Fixture for the walltime check.
+package walltime
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// BadTimestamp stamps output with the wall clock, so two identical runs
+// produce different reports.
+func BadTimestamp(w io.Writer) {
+	fmt.Fprintf(w, "generated at %v\n", time.Now()) // want walltime
+}
+
+// BadElapsed measures elapsed wall time in a non-benchmark path.
+func BadElapsed(w io.Writer, start time.Time) {
+	fmt.Fprintf(w, "took %v\n", time.Since(start)) // want walltime
+}
+
+// GoodDuration manipulates time values without reading the clock.
+func GoodDuration(d time.Duration) time.Duration {
+	return d * 2
+}
+
+// IgnoredClock shows the escape hatch.
+func IgnoredClock() time.Time {
+	//lint:ignore walltime log timestamps are intentionally wall-clock
+	return time.Now()
+}

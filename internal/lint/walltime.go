@@ -1,0 +1,41 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Walltime flags time.Now and time.Since in non-test code. A
+// deterministic reproduction must not branch on — or report — the wall
+// clock: timing belongs in benchmarks (_test.go files, which the check
+// skips), not in experiment kernels, where an elapsed-time line would
+// make two otherwise identical reports differ.
+var Walltime = &Analyzer{
+	Name: "walltime",
+	Doc:  "time.Now / time.Since in non-test, non-benchmark code",
+	Run:  runWalltime,
+}
+
+func runWalltime(pass *Pass) {
+	pkg := pass.Pkg
+	for _, f := range pkg.Files {
+		if isTestFile(pkg.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pkg.Info.Uses[id].(*types.Func)
+			if !ok {
+				return true
+			}
+			if isPkgFunc(fn, "time", "Now") || isPkgFunc(fn, "time", "Since") {
+				pass.Reportf(id.Pos(),
+					"time.%s makes output depend on the wall clock; keep timing in benchmarks or annotate why it is needed", fn.Name())
+			}
+			return true
+		})
+	}
+}

@@ -23,6 +23,7 @@ type LRTest struct {
 // Winner names the favoured model, or "undecided" when the test is not
 // significant at the 0.1 level used by Clauset et al.
 func (t LRTest) Winner() string {
+	//lint:ignore floateq R is set to exactly 0 as the degenerate-test sentinel below
 	if t.PValue > 0.1 || t.R == 0 {
 		return "undecided"
 	}
@@ -59,6 +60,7 @@ func LogLikelihoodRatio(a, b Dist, data []int) (LRTest, error) {
 	}
 	sigma := math.Sqrt(ss / n)
 	out := LRTest{ModelA: a.Name(), ModelB: b.Name(), R: r}
+	//lint:ignore floateq exact-zero spread means pointwise-identical likelihoods; dividing by it is the alternative
 	if sigma == 0 {
 		// Identical pointwise likelihoods: no evidence either way.
 		out.PValue = 1

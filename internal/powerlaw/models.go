@@ -215,14 +215,15 @@ func FitExponential(data []int, xmin int) (*Exponential, error) {
 	if len(t) == 0 {
 		return nil, ErrEmptyTail
 	}
-	var excess float64
+	// Integer accumulation keeps the degeneracy test exact (floateq).
+	var excess int64
 	for _, x := range t {
-		excess += float64(x - xmin)
+		excess += int64(x - xmin)
 	}
-	mean := excess / float64(len(t))
-	if mean == 0 {
+	if excess == 0 {
 		return nil, fmt.Errorf("%w: all tail values equal %d", ErrDegenerate, xmin)
 	}
+	mean := float64(excess) / float64(len(t))
 	return NewExponential(math.Log(1+1/mean), xmin), nil
 }
 

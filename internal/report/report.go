@@ -164,9 +164,11 @@ func AsciiPlot(w io.Writer, cfg PlotConfig, series []Series) error {
 	if !any {
 		return fmt.Errorf("ascii plot %q: no drawable points", cfg.Title)
 	}
+	//lint:ignore floateq collapsed axis range (all points share one exact value) needs widening before plotting
 	if maxX == minX {
 		maxX = minX + 1
 	}
+	//lint:ignore floateq collapsed axis range (all points share one exact value) needs widening before plotting
 	if maxY == minY {
 		maxY = minY + 1
 	}
@@ -234,6 +236,7 @@ func max(a, b int) int {
 // Fmt formats a float compactly for table cells.
 func Fmt(v float64) string {
 	switch {
+	//lint:ignore floateq exact zero prints as "0"; near-zero values must keep their magnitude
 	case v == 0:
 		return "0"
 	case math.Abs(v) >= 1000 || math.Abs(v) < 0.001:

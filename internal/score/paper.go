@@ -40,11 +40,12 @@ func RatioCut() Func {
 		LowerIsCommunity: true,
 		Eval: func(ctx *Context, _ *graph.Set, cut graph.CutStats) float64 {
 			n := ctx.G.NumVertices()
-			comp := float64(cut.N) * float64(n-cut.N)
-			if comp == 0 {
+			// Degeneracy test in the integer domain (floateq): the
+			// product is zero exactly when the set or complement is empty.
+			if cut.N == 0 || cut.N == n {
 				return 0
 			}
-			return float64(cut.Boundary) / comp
+			return float64(cut.Boundary) / (float64(cut.N) * float64(n-cut.N))
 		},
 	}
 }
@@ -62,11 +63,11 @@ func Conductance() Func {
 		Label:            "Conductance",
 		LowerIsCommunity: true,
 		Eval: func(_ *Context, _ *graph.Set, cut graph.CutStats) float64 {
-			den := 2*float64(cut.Internal) + float64(cut.Boundary)
-			if den == 0 {
+			// Emptiness test in the integer domain (floateq).
+			if cut.Internal == 0 && cut.Boundary == 0 {
 				return 0
 			}
-			return float64(cut.Boundary) / den
+			return float64(cut.Boundary) / (2*float64(cut.Internal) + float64(cut.Boundary))
 		},
 	}
 }
@@ -85,11 +86,10 @@ func Modularity() Func {
 		Name:  "modularity",
 		Label: "Modularity",
 		Eval: func(ctx *Context, set *graph.Set, cut graph.CutStats) float64 {
-			m := float64(ctx.G.NumEdges())
-			if m == 0 {
+			if ctx.G.NumEdges() == 0 {
 				return 0
 			}
-			return (float64(cut.Internal) - ctx.NullExpectation(set)) / (2 * m)
+			return (float64(cut.Internal) - ctx.NullExpectation(set)) / (2 * float64(ctx.G.NumEdges()))
 		},
 	}
 }

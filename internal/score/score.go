@@ -112,10 +112,10 @@ func (ctx *Context) degreeCaches() (out, in []float64) {
 // degree tables, so scoring thousands of sets never re-walks the CSR
 // offsets.
 func (ctx *Context) ChungLuExpectation(set *graph.Set) float64 {
-	m := float64(ctx.G.NumEdges())
-	if m == 0 {
+	if ctx.G.NumEdges() == 0 {
 		return 0
 	}
+	m := float64(ctx.G.NumEdges())
 	outDeg, inDeg := ctx.degreeCaches()
 	if ctx.G.Directed() {
 		var outSum, inSum float64

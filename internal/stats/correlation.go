@@ -61,6 +61,7 @@ func ranks(xs []float64) []float64 {
 	out := make([]float64, n)
 	for i := 0; i < n; {
 		j := i
+		//lint:ignore floateq rank ties are defined by exact value equality in Spearman's statistic
 		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
 			j++
 		}

@@ -13,6 +13,31 @@ import (
 // ErrEmptySample is returned by functions that need at least one value.
 var ErrEmptySample = errors.New("stats: empty sample")
 
+// ApproxEqual reports whether a and b agree within tol, absolutely for
+// small magnitudes and relatively for large ones. It is the approved way
+// to compare floating-point results: score kernels accumulate rounding
+// differently depending on evaluation order, so exact == / != (flagged
+// by circlelint's floateq check everywhere but here) silently turns into
+// order-dependent behavior.
+func ApproxEqual(a, b, tol float64) bool {
+	if a == b {
+		// Exact fast path; also handles equal infinities, which the
+		// relative test below would turn into Inf-Inf = NaN.
+		return true
+	}
+	diff := math.Abs(a - b)
+	if math.IsInf(diff, 0) {
+		// Opposite infinities, or one infinite operand: never close
+		// (equal infinities already matched above).
+		return false
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale > 1 {
+		return diff <= tol*scale
+	}
+	return diff <= tol
+}
+
 // Summary holds the moments and quantiles of a sample.
 type Summary struct {
 	N        int
@@ -143,6 +168,7 @@ func NewCDF(xs []float64) (CDF, error) {
 	var c CDF
 	for i := 0; i < len(sorted); i++ {
 		// Collapse runs of equal values to a single step.
+		//lint:ignore floateq CDF steps collapse runs of exactly equal sample values
 		if i+1 < len(sorted) && sorted[i+1] == sorted[i] {
 			continue
 		}
@@ -156,6 +182,7 @@ func NewCDF(xs []float64) (CDF, error) {
 func (c CDF) At(x float64) float64 {
 	i := sort.SearchFloat64s(c.X, x)
 	// SearchFloat64s returns the first index with X[i] >= x.
+	//lint:ignore floateq empirical CDF lookup is exact by construction: X holds the sample values themselves
 	if i < len(c.X) && c.X[i] == x {
 		return c.Y[i]
 	}
@@ -208,6 +235,7 @@ func Histogram(xs []float64, k int) ([]Bin, error) {
 		lo = math.Min(lo, x)
 		hi = math.Max(hi, x)
 	}
+	//lint:ignore floateq a constant sample has exactly equal extremes and gets a single degenerate bin
 	if lo == hi {
 		return []Bin{{Lo: lo, Hi: hi, Count: len(xs)}}, nil
 	}
@@ -301,6 +329,7 @@ func Gini(xs []float64) (float64, error) {
 		cumWeighted += float64(i+1) * x
 		total += x
 	}
+	//lint:ignore floateq a sum of non-negative values is exactly zero only when every value is; guards 0/0
 	if total == 0 {
 		return 0, nil
 	}

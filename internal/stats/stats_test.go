@@ -315,3 +315,29 @@ func TestQuickHistogramTotal(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestApproxEqual(t *testing.T) {
+	// Sum at runtime: a constant 0.1+0.2 would fold to exactly 0.3.
+	tenth, fifth := 0.1, 0.2
+	sum := tenth + fifth
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 0, true},                         // exact fast path
+		{sum, 0.3, 1e-12, true},                 // classic rounding residue
+		{sum, 0.3, 0, false},                    // exact comparison fails
+		{1e18, 1e18 + 1e3, 1e-12, true},         // relative at large scale
+		{1e18, 2e18, 1e-12, false},              // genuinely different
+		{0, 1e-13, 1e-12, true},                 // absolute near zero
+		{0, 1e-3, 1e-12, false},                 // too far at small scale
+		{math.Inf(1), math.Inf(1), 1e-9, true},  // equal infinities
+		{math.Inf(1), math.Inf(-1), 1e9, false}, // opposite infinities
+		{math.NaN(), math.NaN(), 1e9, false},    // NaN never equals
+	}
+	for _, c := range cases {
+		if got := ApproxEqual(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("ApproxEqual(%v, %v, %v) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}
