@@ -1,0 +1,169 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchResult is one parsed benchmark line: iteration count plus the
+// -benchmem metrics. B/op and allocs/op are -1 when the line carried no
+// memory columns (run without -benchmem).
+type benchResult struct {
+	Name     string
+	N        int64
+	NsPerOp  float64
+	BPerOp   int64
+	AllocsOp int64
+}
+
+// testEvent is the subset of the `go test -json` (test2json) event
+// stream the comparer needs.
+type testEvent struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+// benchLineRE matches a complete benchmark result line as emitted by
+// the testing package, e.g.
+//
+//	BenchmarkFoo-8   	      10	 123456 ns/op	    4096 B/op	      12 allocs/op
+var benchLineRE = regexp.MustCompile(
+	`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// parseBenchFile reads a BENCH_*.json test2json stream and returns the
+// benchmark results keyed by name. test2json may split one result line
+// across several Output events (the name flushes before the metrics),
+// so output is reassembled into lines before matching.
+func parseBenchFile(path string) (map[string]benchResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	var out strings.Builder
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev testEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("%s: not a go test -json stream: %w", path, err)
+		}
+		if ev.Action == "output" {
+			out.WriteString(ev.Output)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+
+	results := make(map[string]benchResult)
+	for _, line := range strings.Split(out.String(), "\n") {
+		m := benchLineRE.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		r := benchResult{Name: m[1], BPerOp: -1, AllocsOp: -1}
+		r.N, _ = strconv.ParseInt(m[2], 10, 64)
+		r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			r.BPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			r.AllocsOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		results[r.Name] = r
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark result lines found", path)
+	}
+	return results, nil
+}
+
+// deltaPct renders the relative change from old to new as a signed
+// percentage (negative = improvement for all three metrics).
+func deltaPct(oldV, newV float64) string {
+	//lint:ignore floateq parsed metric values; zero is an exact degenerate-input sentinel, not a rounding result
+	if oldV == 0 {
+		//lint:ignore floateq same exact-zero sentinel as above
+		if newV == 0 {
+			return "  +0.0%"
+		}
+		return "    n/a"
+	}
+	return fmt.Sprintf("%+7.1f%%", (newV-oldV)/oldV*100)
+}
+
+// runCompare diffs two recorded benchmark files and prints per-benchmark
+// ns/op, B/op, and allocs/op deltas. Benchmarks present in only one
+// file are listed after the table.
+func runCompare(w io.Writer, oldPath, newPath string) error {
+	oldRes, err := parseBenchFile(oldPath)
+	if err != nil {
+		return err
+	}
+	newRes, err := parseBenchFile(newPath)
+	if err != nil {
+		return err
+	}
+
+	var common, oldOnly, newOnly []string
+	for name := range oldRes {
+		if _, ok := newRes[name]; ok {
+			common = append(common, name)
+		} else {
+			oldOnly = append(oldOnly, name)
+		}
+	}
+	for name := range newRes {
+		if _, ok := oldRes[name]; !ok {
+			newOnly = append(newOnly, name)
+		}
+	}
+	sort.Strings(common)
+	sort.Strings(oldOnly)
+	sort.Strings(newOnly)
+
+	width := len("benchmark")
+	for _, name := range common {
+		if len(name) > width {
+			width = len(name)
+		}
+	}
+	fmt.Fprintf(w, "compare: %s -> %s\n\n", oldPath, newPath)
+	fmt.Fprintf(w, "%-*s  %14s %8s  %14s %8s  %12s %8s\n", width, "benchmark",
+		"ns/op", "delta", "B/op", "delta", "allocs/op", "delta")
+	for _, name := range common {
+		o, n := oldRes[name], newRes[name]
+		fmt.Fprintf(w, "%-*s  %14.0f %s", width, name, n.NsPerOp, deltaPct(o.NsPerOp, n.NsPerOp))
+		if o.BPerOp >= 0 && n.BPerOp >= 0 {
+			fmt.Fprintf(w, "  %14d %s", n.BPerOp, deltaPct(float64(o.BPerOp), float64(n.BPerOp)))
+		} else {
+			fmt.Fprintf(w, "  %14s %8s", "-", "-")
+		}
+		if o.AllocsOp >= 0 && n.AllocsOp >= 0 {
+			fmt.Fprintf(w, "  %12d %s", n.AllocsOp, deltaPct(float64(o.AllocsOp), float64(n.AllocsOp)))
+		} else {
+			fmt.Fprintf(w, "  %12s %8s", "-", "-")
+		}
+		fmt.Fprintln(w)
+	}
+	for _, name := range oldOnly {
+		fmt.Fprintf(w, "%-*s  only in %s\n", width, name, oldPath)
+	}
+	for _, name := range newOnly {
+		fmt.Fprintf(w, "%-*s  only in %s\n", width, name, newPath)
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeBenchFile writes a minimal test2json stream containing the given
+// raw output fragments, mimicking how test2json splits benchmark result
+// lines across events.
+func writeBenchFile(t *testing.T, name string, outputs ...string) string {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString(`{"Action":"start","Package":"gpluscircles"}` + "\n")
+	for _, out := range outputs {
+		b.WriteString(`{"Action":"output","Package":"gpluscircles","Output":"` + out + `"}` + "\n")
+	}
+	b.WriteString(`{"Action":"pass","Package":"gpluscircles"}` + "\n")
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseBenchFileReassemblesSplitLines(t *testing.T) {
+	path := writeBenchFile(t, "bench.json",
+		`BenchmarkFoo           \t`,           // name flushed alone, as test2json does
+		`       2\t 1000 ns/op\t  512 B/op\t    8 allocs/op\n`,
+		`BenchmarkBar \t 4\t 2500.5 ns/op\n`, // no -benchmem columns
+	)
+	res, err := parseBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foo, ok := res["BenchmarkFoo"]
+	if !ok {
+		t.Fatal("BenchmarkFoo not parsed")
+	}
+	if foo.N != 2 || foo.NsPerOp != 1000 || foo.BPerOp != 512 || foo.AllocsOp != 8 {
+		t.Errorf("BenchmarkFoo parsed as %+v", foo)
+	}
+	bar, ok := res["BenchmarkBar"]
+	if !ok {
+		t.Fatal("BenchmarkBar not parsed")
+	}
+	if bar.NsPerOp != 2500.5 || bar.BPerOp != -1 || bar.AllocsOp != -1 {
+		t.Errorf("BenchmarkBar parsed as %+v", bar)
+	}
+}
+
+func TestParseBenchFileRejectsNonJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parseBenchFile(path); err == nil {
+		t.Error("expected an error for a non-JSON file")
+	}
+}
+
+func TestRunCompareReportsDeltas(t *testing.T) {
+	oldPath := writeBenchFile(t, "old.json",
+		`BenchmarkSame \t 1\t 1000 ns/op\t 1000 B/op\t 10 allocs/op\n`,
+		`BenchmarkGone \t 1\t 5 ns/op\n`,
+	)
+	newPath := writeBenchFile(t, "new.json",
+		`BenchmarkSame \t 1\t 500 ns/op\t 100 B/op\t 1 allocs/op\n`,
+		`BenchmarkNew \t 1\t 7 ns/op\n`,
+	)
+	var sb strings.Builder
+	if err := runCompare(&sb, oldPath, newPath); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, want := range []string{
+		"BenchmarkSame", "-50.0%", "-90.0%",
+		"BenchmarkGone", "only in " + oldPath,
+		"BenchmarkNew", "only in " + newPath,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("compare output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunCompareAgainstRecordedBench(t *testing.T) {
+	// The checked-in baseline must stay parseable: the compare mode's
+	// whole point is diffing against it.
+	baseline := filepath.Join("..", "..", "BENCH_2026-08-06.json")
+	if _, err := os.Stat(baseline); err != nil {
+		t.Skip("baseline bench file not present")
+	}
+	res, err := parseBenchFile(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res["BenchmarkEmpiricalExpectation"]; !ok {
+		t.Error("baseline missing BenchmarkEmpiricalExpectation")
+	}
+	var sb strings.Builder
+	if err := runCompare(&sb, baseline, baseline); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "+0.0%") {
+		t.Error("self-compare should report zero deltas")
+	}
+}
+
+func TestRunCompareUsageError(t *testing.T) {
+	if err := runWith(t, "compare", "only-one.json"); err == nil {
+		t.Error("expected usage error for missing operand")
+	}
+}

@@ -6,6 +6,11 @@
 //
 //	circlebench [-scale 1.0] [-seed 1] [-null-samples 0] [-workers 0] [-experiment id]
 //	circlebench -list
+//	circlebench compare OLD.json NEW.json
+//
+// The compare subcommand diffs two recorded benchmark runs (the
+// BENCH_*.json files produced by `make bench`, i.e. `go test -json`
+// streams) and prints per-benchmark ns/op, B/op, and allocs/op deltas.
 //
 // Experiment IDs map to the paper's artifacts (table2, table3, fig2,
 // fig3, fig4, fig5, fig6, directedness, ablation-null, ablation-sampler,
@@ -31,6 +36,15 @@ func main() {
 }
 
 func run() error {
+	// The compare subcommand has its own positional syntax; dispatch it
+	// before flag.Parse sees the arguments.
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		if len(os.Args) != 4 {
+			return fmt.Errorf("usage: circlebench compare OLD.json NEW.json")
+		}
+		return runCompare(os.Stdout, os.Args[2], os.Args[3])
+	}
+
 	var (
 		scale       = flag.Float64("scale", 1.0, "data-set scale factor (1.0 = laptop default, ~1/25 of the paper)")
 		seed        = flag.Int64("seed", 1, "generator and sampler seed")

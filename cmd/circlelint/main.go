@@ -5,10 +5,13 @@
 //
 // Usage:
 //
-//	circlelint [-checks maporder,floateq] [-list] [dir]
+//	circlelint [-checks maporder,floateq] [-json] [-list] [dir]
 //
 // dir defaults to the current directory; the module root is located by
-// walking upward to the nearest go.mod. Findings are suppressed with
+// walking upward to the nearest go.mod. With -json, findings are
+// emitted as a single JSON array of {file, line, col, check, message}
+// objects (an empty array for a clean tree) for machine consumers such
+// as CI annotators. Findings are suppressed with
 //
 //	//lint:ignore <check> <reason>
 //
@@ -16,9 +19,11 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -40,8 +45,9 @@ func main() {
 func run(w *os.File, args []string) (int, error) {
 	fs := flag.NewFlagSet("circlelint", flag.ContinueOnError)
 	var (
-		checks = fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
-		list   = fs.Bool("list", false, "list the available checks and exit")
+		checks   = fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+		list     = fs.Bool("list", false, "list the available checks and exit")
+		jsonMode = fs.Bool("json", false, "emit findings as a JSON array instead of file:line:col lines")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 0, err
@@ -74,14 +80,53 @@ func run(w *os.File, args []string) (int, error) {
 		return 0, err
 	}
 	diags := lint.Run(pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Fprintln(w, relativize(root, d))
+	if *jsonMode {
+		if err := writeJSON(w, root, diags); err != nil {
+			return 0, err
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(w, relativize(root, d))
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(w, "circlelint: %d finding(s)\n", len(diags))
+		}
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(w, "circlelint: %d finding(s)\n", len(diags))
 		return 1, nil
 	}
 	return 0, nil
+}
+
+// jsonDiagnostic is the machine-readable finding shape emitted by -json.
+type jsonDiagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+// writeJSON emits every diagnostic as one JSON array (empty for a clean
+// tree), with filenames relativized to the module root.
+func writeJSON(w io.Writer, root string, diags []lint.Diagnostic) error {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+		out = append(out, jsonDiagnostic{
+			File:    file,
+			Line:    d.Pos.Line,
+			Col:     d.Pos.Column,
+			Check:   d.Check,
+			Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // selectAnalyzers resolves the -checks flag to an analyzer list.

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -110,6 +111,69 @@ func Good(m map[string]int) {
 	if code != 0 {
 		data, _ := os.ReadFile(out.Name())
 		t.Fatalf("exit code = %d, want 0; output:\n%s", code, data)
+	}
+}
+
+// TestRunJSONOutput checks -json emits a parseable array with the
+// file/line/check fields CI annotators consume, and an empty array for
+// a clean tree.
+func TestRunJSONOutput(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module example.com/violating\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "bad.go"), `package violating
+
+import "math/rand"
+
+func Bad() int { return rand.Intn(10) }
+`)
+
+	out, err := os.CreateTemp(t.TempDir(), "lintout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	code, runErr := run(out, []string{"-json", dir})
+	if runErr != nil {
+		t.Fatalf("run: %v", runErr)
+	}
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	data, err := os.ReadFile(out.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diags []jsonDiagnostic
+	if err := json.Unmarshal(data, &diags); err != nil {
+		t.Fatalf("-json output not parseable: %v\n%s", err, data)
+	}
+	if len(diags) == 0 {
+		t.Fatal("-json output empty for a violating module")
+	}
+	d := diags[0]
+	if d.File != "bad.go" || d.Line == 0 || d.Check != "globalrng" || d.Message == "" {
+		t.Errorf("unexpected diagnostic %+v", d)
+	}
+
+	// Clean tree: still exit 0, body is an empty JSON array.
+	clean := t.TempDir()
+	writeFile(t, filepath.Join(clean, "go.mod"), "module example.com/clean\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(clean, "good.go"), "package clean\n")
+	out2, err := os.CreateTemp(t.TempDir(), "lintout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out2.Close()
+	code, runErr = run(out2, []string{"-json", clean})
+	if runErr != nil || code != 0 {
+		t.Fatalf("clean run: code %d, err %v", code, runErr)
+	}
+	data, err = os.ReadFile(out2.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(data)) != "[]" {
+		t.Errorf("clean -json output = %q, want []", data)
 	}
 }
 

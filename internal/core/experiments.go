@@ -306,6 +306,7 @@ func runFig5(s *Suite, w io.Writer) error {
 	res, err := CirclesVsRandom(gp, Fig5Options{
 		NullModelSamples: s.opts.NullModelSamples,
 		Context:          s.ScoreContext(gp.Graph),
+		NullArena:        s.NullArena(gp.Graph),
 	}, s.RNG(13))
 	if err != nil {
 		return err
@@ -438,7 +439,7 @@ func runNullAblation(s *Suite, w io.Writer) error {
 	if samples <= 0 {
 		samples = 3
 	}
-	res, err := CompareNullModels(gp, samples, 5, s.RNG(14))
+	res, err := CompareNullModelsArena(gp, samples, 5, s.RNG(14), s.NullArena(gp.Graph))
 	if err != nil {
 		return err
 	}

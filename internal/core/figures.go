@@ -80,6 +80,10 @@ type Fig5Options struct {
 	// NullModelSamples == 0; the empirical null model always builds a
 	// private context so the shared one stays analytic.
 	Context *score.Context
+	// NullArena, when non-nil, supplies pooled overlay buffers for the
+	// empirical null model (typically Suite.NullArena). The estimator's
+	// overlays are returned to it before CirclesVsRandom returns.
+	NullArena *graph.OverlayArena
 	// Workers bounds the scoring worker pool; 0 selects GOMAXPROCS.
 	Workers int
 }
@@ -105,10 +109,14 @@ func CirclesVsRandom(ds *synth.Dataset, opts Fig5Options, rng *rand.Rand) (*Fig5
 	ctx := opts.Context
 	if ctx == nil || opts.NullModelSamples > 0 {
 		var err error
-		ctx, err = newScoringContext(ds.Graph, opts.NullModelSamples, opts.NullModelSwapsPerEdge, rng)
+		var done func()
+		ctx, done, err = newScoringContext(ds.Graph, opts.NullModelSamples, opts.NullModelSwapsPerEdge, rng, opts.NullArena)
 		if err != nil {
 			return nil, err
 		}
+		// The private context dies with this call, so the estimator's
+		// overlays can go back to the arena once scoring is complete.
+		defer done()
 	}
 
 	circleScores := score.EvaluateGroupsParallel(ctx, ds.Groups, fns, opts.Workers)
@@ -144,20 +152,23 @@ func CirclesVsRandom(ds *synth.Dataset, opts Fig5Options, rng *rand.Rand) (*Fig5
 }
 
 // newScoringContext builds a score.Context, optionally swapping in the
-// empirical null model.
-func newScoringContext(g *graph.Graph, nullSamples int, swapsPerEdge float64, rng *rand.Rand) (*score.Context, error) {
+// empirical null model backed by pooled overlays from the arena (nil
+// arena = private). The returned cleanup releases the estimator's
+// overlays; call it once the context is no longer used for scoring.
+func newScoringContext(g *graph.Graph, nullSamples int, swapsPerEdge float64, rng *rand.Rand, arena *graph.OverlayArena) (*score.Context, func(), error) {
 	ctx := score.NewContext(g)
-	if nullSamples > 0 {
-		if swapsPerEdge <= 0 {
-			swapsPerEdge = 5
-		}
-		est, err := nullmodel.EmpiricalExpectation(g, nullSamples, swapsPerEdge, rng)
-		if err != nil {
-			return nil, fmt.Errorf("empirical null model: %w", err)
-		}
-		ctx.NullExpectation = est
+	if nullSamples <= 0 {
+		return ctx, func() {}, nil
 	}
-	return ctx, nil
+	if swapsPerEdge <= 0 {
+		swapsPerEdge = 5
+	}
+	est, err := nullmodel.NewEmpiricalEstimator(g, nullSamples, swapsPerEdge, rng, nullmodel.EstimatorOptions{Arena: arena})
+	if err != nil {
+		return nil, nil, fmt.Errorf("empirical null model: %w", err)
+	}
+	ctx.NullExpectation = est.Func()
+	return ctx, est.Close, nil
 }
 
 // Fig6Result is the four-network comparison (Section V-B): per scoring
@@ -183,7 +194,9 @@ type DatasetDistribution struct {
 
 // CrossNetwork runs the Fig. 6 experiment over any number of data sets.
 func CrossNetwork(datasets []*synth.Dataset, fns []score.Func) (*Fig6Result, error) {
-	return crossNetworkWith(datasets, fns, score.NewContext)
+	return crossNetworkWith(datasets, fns, func(g *graph.Graph) *score.Context {
+		return score.NewContext(g)
+	})
 }
 
 // crossNetworkWith is CrossNetwork with an injectable context source, so
@@ -305,6 +318,13 @@ type NullModelAblation struct {
 
 // CompareNullModels runs the modularity null-model ablation.
 func CompareNullModels(ds *synth.Dataset, samples int, swapsPerEdge float64, rng *rand.Rand) (*NullModelAblation, error) {
+	return CompareNullModelsArena(ds, samples, swapsPerEdge, rng, nil)
+}
+
+// CompareNullModelsArena is CompareNullModels drawing the empirical
+// estimator's sample buffers from a shared overlay arena (typically
+// Suite.NullArena), so repeated ablation runs reuse them.
+func CompareNullModelsArena(ds *synth.Dataset, samples int, swapsPerEdge float64, rng *rand.Rand, arena *graph.OverlayArena) (*NullModelAblation, error) {
 	if rng == nil {
 		return nil, ErrNoRNG
 	}
@@ -315,10 +335,11 @@ func CompareNullModels(ds *synth.Dataset, samples int, swapsPerEdge float64, rng
 
 	analytic := score.EvaluateGroupsParallel(score.NewContext(ds.Graph), ds.Groups, mod, 0)
 
-	ctx, err := newScoringContext(ds.Graph, samples, swapsPerEdge, rng)
+	ctx, done, err := newScoringContext(ds.Graph, samples, swapsPerEdge, rng, arena)
 	if err != nil {
 		return nil, err
 	}
+	defer done()
 	empirical := score.EvaluateGroupsParallel(ctx, ds.Groups, mod, 0)
 
 	res := &NullModelAblation{Dataset: ds.Name}

@@ -85,6 +85,7 @@ type Suite struct {
 	profiles    map[*synth.Dataset]*profileCache
 	contexts    map[*graph.Graph]*score.Context
 	projections map[*synth.Dataset]*projectionCache
+	arenas      map[*graph.Graph]*graph.OverlayArena
 }
 
 // NewSuite creates a Suite; data sets are generated lazily.
@@ -276,6 +277,25 @@ func (s *Suite) ScoreContext(g *graph.Graph) *score.Context {
 		s.contexts[g] = ctx
 	}
 	return ctx
+}
+
+// NullArena returns the memoized overlay arena pooling null-model sample
+// buffers for the graph. Experiments that build empirical estimators draw
+// overlays from here and return them on estimator Close, so repeated
+// null-model sampling against the same graph is allocation-free after
+// warm-up.
+func (s *Suite) NullArena(g *graph.Graph) *graph.OverlayArena {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.arenas == nil {
+		s.arenas = make(map[*graph.Graph]*graph.OverlayArena)
+	}
+	a := s.arenas[g]
+	if a == nil {
+		a = graph.NewOverlayArena(g)
+		s.arenas[g] = a
+	}
+	return a
 }
 
 // UndirectedProjection returns the memoized undirected projection of the

@@ -138,8 +138,10 @@ func (g *Graph) Edges(fn func(e Edge) bool) {
 	}
 }
 
-// EdgeList materializes Edges into a slice. Intended for tests and small
-// graphs; for a directed graph the result has m entries, undirected m.
+// EdgeList materializes Edges into a slice of m entries either way: every
+// arc for a directed graph, or each undirected edge listed once with
+// From < To. Intended for tests, small graphs, and seeding the null-model
+// rewiring chain.
 func (g *Graph) EdgeList() []Edge {
 	out := make([]Edge, 0, g.m)
 	g.Edges(func(e Edge) bool {

@@ -15,9 +15,9 @@ func NewSet(n int) *Set {
 	return &Set{words: make([]uint64, (n+63)/64)}
 }
 
-// SetOf builds a Set over a graph's vertex range from the given members.
-// Duplicate members are ignored.
-func SetOf(g *Graph, members []VID) *Set {
+// SetOf builds a Set over a graph view's vertex range from the given
+// members. Duplicate members are ignored.
+func SetOf(g View, members []VID) *Set {
 	s := NewSet(g.NumVertices())
 	for _, v := range members {
 		s.Add(v)
@@ -81,15 +81,18 @@ type CutStats struct {
 	DegreeSum int64 // sum of d(v) over v in C
 }
 
-// Cut computes the internal/boundary edge statistics of the set within g.
+// Cut computes the internal/boundary edge statistics of the set within g,
+// which may be a *Graph or any other View — in particular an Overlay, so
+// null-model samples are scored without materializing them as graphs.
 //
 // For directed graphs, Internal counts arcs with both endpoints in C and
 // Boundary counts arcs with exactly one endpoint in C (in either
 // direction). For undirected graphs the counts are in edges. This is the
 // single primitive all four scoring functions are built on.
-func Cut(g *Graph, s *Set) CutStats {
+func Cut(g View, s *Set) CutStats {
 	var st CutStats
 	st.N = s.Len()
+	directed := g.Directed()
 	for _, u := range s.members {
 		st.DegreeSum += int64(g.Degree(u))
 		for _, v := range g.OutNeighbors(u) {
@@ -99,7 +102,7 @@ func Cut(g *Graph, s *Set) CutStats {
 				st.Boundary++
 			}
 		}
-		if g.directed {
+		if directed {
 			// Arcs entering C from outside.
 			for _, v := range g.InNeighbors(u) {
 				if !s.Contains(v) {
@@ -112,7 +115,7 @@ func Cut(g *Graph, s *Set) CutStats {
 			continue
 		}
 	}
-	if !g.directed {
+	if !directed {
 		st.Internal /= 2
 	}
 	return st

@@ -5,7 +5,12 @@
 // they scale to the multi-million-edge graphs of the paper's data sets.
 package graphalgo
 
-import "gpluscircles/internal/graph"
+import (
+	"math"
+	"sync"
+
+	"gpluscircles/internal/graph"
+)
 
 // Direction selects which adjacency BFS traverses.
 type Direction int
@@ -36,6 +41,48 @@ func newBFSState(n int) *bfsState {
 		dist:  make([]int32, n),
 		queue: make([]graph.VID, 0, n),
 		epoch: make([]int32, n),
+	}
+}
+
+// bfsPool recycles BFS workspaces across calls, so the distance samplers
+// and centrality sweeps stop re-allocating frontier/dist arrays per
+// invocation. States are sized to the largest graph they have served and
+// re-sliced downward; the epoch counter makes reuse safe without
+// clearing.
+var bfsPool = sync.Pool{New: func() any { return new(bfsState) }}
+
+// acquireBFSState returns a pooled workspace resized for n vertices.
+// Release it with releaseBFSState when the traversals are done.
+func acquireBFSState(n int) *bfsState {
+	st := bfsPool.Get().(*bfsState)
+	st.resize(n)
+	return st
+}
+
+func releaseBFSState(st *bfsState) { bfsPool.Put(st) }
+
+// resize adapts a (possibly recycled) state to an n-vertex graph. When
+// the backing arrays are large enough they are re-sliced and the epoch
+// counter keeps running, so no clearing is needed: stale epoch entries
+// are always less than the next cur. The counter is reset — with a full
+// epoch wipe — before it can overflow.
+func (st *bfsState) resize(n int) {
+	if cap(st.dist) < n || cap(st.epoch) < n {
+		st.dist = make([]int32, n)
+		st.epoch = make([]int32, n)
+		st.queue = make([]graph.VID, 0, n)
+		st.cur = 0
+		return
+	}
+	st.dist = st.dist[:n]
+	st.epoch = st.epoch[:n]
+	st.queue = st.queue[:0]
+	if st.cur == math.MaxInt32 {
+		full := st.epoch[:cap(st.epoch)]
+		for i := range full {
+			full[i] = 0
+		}
+		st.cur = 0
 	}
 }
 
@@ -94,7 +141,8 @@ func (st *bfsState) run(g *graph.Graph, src graph.VID, dir Direction) (reached i
 // BFSDistances returns the BFS distance from src to every vertex, with -1
 // for unreachable vertices.
 func BFSDistances(g *graph.Graph, src graph.VID, dir Direction) []int32 {
-	st := newBFSState(g.NumVertices())
+	st := acquireBFSState(g.NumVertices())
+	defer releaseBFSState(st)
 	st.run(g, src, dir)
 	out := make([]int32, g.NumVertices())
 	for v := range out {

@@ -14,7 +14,8 @@ import (
 func Closeness(g *graph.Graph) []float64 {
 	n := g.NumVertices()
 	out := make([]float64, n)
-	st := newBFSState(n)
+	st := acquireBFSState(n)
+	defer releaseBFSState(st)
 	for v := 0; v < n; v++ {
 		out[v] = closenessFrom(g, graph.VID(v), st, n)
 	}
@@ -33,7 +34,8 @@ func SampledCloseness(g *graph.Graph, samples int, rng *rand.Rand) ([]graph.VID,
 		all := Closeness(g)
 		return g.Vertices(), all, nil
 	}
-	st := newBFSState(n)
+	st := acquireBFSState(n)
+	defer releaseBFSState(st)
 	perm := rng.Perm(n)[:samples]
 	vertices := make([]graph.VID, samples)
 	values := make([]float64, samples)

@@ -76,7 +76,8 @@ func IsConnected(g *graph.Graph) bool {
 	if g.NumVertices() == 0 {
 		return true
 	}
-	st := newBFSState(g.NumVertices())
+	st := acquireBFSState(g.NumVertices())
+	defer releaseBFSState(st)
 	reached, _, _ := st.run(g, 0, Both)
 	return reached == g.NumVertices()
 }

@@ -32,7 +32,8 @@ type DistanceStats struct {
 // O(n·(n+m)); intended for graphs up to a few hundred thousand edges.
 func ExactDistances(g *graph.Graph) DistanceStats {
 	n := g.NumVertices()
-	st := newBFSState(n)
+	st := acquireBFSState(n)
+	defer releaseBFSState(st)
 	var out DistanceStats
 	var totalDist int64
 	for s := 0; s < n; s++ {
@@ -67,7 +68,8 @@ func SampledDistances(g *graph.Graph, sources int, rng *rand.Rand) (DistanceStat
 	if sources >= n {
 		return ExactDistances(g), nil
 	}
-	st := newBFSState(n)
+	st := acquireBFSState(n)
+	defer releaseBFSState(st)
 	var out DistanceStats
 	var totalDist int64
 
@@ -106,7 +108,8 @@ func SampledDistances(g *graph.Graph, sources int, rng *rand.Rand) (DistanceStat
 // Eccentricity returns the maximum BFS distance from v to any reachable
 // vertex, treating arcs as bidirectional.
 func Eccentricity(g *graph.Graph, v graph.VID) int {
-	st := newBFSState(g.NumVertices())
+	st := acquireBFSState(g.NumVertices())
+	defer releaseBFSState(st)
 	_, ecc, _ := st.run(g, v, Both)
 	return int(ecc)
 }

@@ -58,7 +58,8 @@ func ParallelSampledDistances(g *graph.Graph, sources, workers int, rng *rand.Ra
 		wg.Add(1)
 		go func(slot int) {
 			defer wg.Done()
-			st := newBFSState(n)
+			st := acquireBFSState(n)
+			defer releaseBFSState(st)
 			for src := range next {
 				reached, ecc, distSum := st.run(g, src, Both)
 				p := &results[slot]

@@ -28,7 +28,9 @@ var (
 )
 
 // rewirer holds a mutable arc list with O(1) duplicate detection for the
-// swap Markov chain.
+// swap Markov chain. Its storage (edge slice, presence map) is reusable
+// across samples via resetFrom, so pooled callers pay zero steady-state
+// allocation per sample.
 type rewirer struct {
 	directed bool
 	n        int
@@ -40,16 +42,25 @@ func pack(u, v graph.VID) uint64 {
 	return uint64(uint32(u))<<32 | uint64(uint32(v))
 }
 
-func newRewirer(g *graph.Graph) *rewirer {
-	r := &rewirer{
-		directed: g.Directed(),
-		n:        g.NumVertices(),
-		edges:    g.EdgeList(),
-		present:  make(map[uint64]struct{}, g.NumEdges()),
+// resetFrom re-initializes r to a copy of the template edge list, reusing
+// r's edge buffer and presence map when their capacity allows.
+func (r *rewirer) resetFrom(directed bool, n int, template []graph.Edge) {
+	r.directed = directed
+	r.n = n
+	r.edges = append(r.edges[:0], template...)
+	if r.present == nil {
+		r.present = make(map[uint64]struct{}, len(template))
+	} else {
+		clear(r.present)
 	}
 	for _, e := range r.edges {
 		r.present[r.key(e.From, e.To)] = struct{}{}
 	}
+}
+
+func newRewirer(g *graph.Graph) *rewirer {
+	r := &rewirer{}
+	r.resetFrom(g.Directed(), g.NumVertices(), g.EdgeList())
 	return r
 }
 
@@ -146,6 +157,21 @@ func (r *rewirer) build(src *graph.Graph) (*graph.Graph, error) {
 	return g, nil
 }
 
+// mix runs the plain (connectivity-agnostic) swap chain: swapsPerEdge·m
+// attempted double-edge swaps. The RNG draw sequence is the contract the
+// overlay-based estimator's determinism tests rely on; change it only
+// with a migration plan for recorded expectations.
+func (r *rewirer) mix(swapsPerEdge float64, rng *rand.Rand) {
+	m := len(r.edges)
+	if m < 2 {
+		return
+	}
+	attempts := int(swapsPerEdge * float64(m))
+	for k := 0; k < attempts; k++ {
+		r.trySwap(rng.Intn(m), rng.Intn(m), rng)
+	}
+}
+
 // Rewire returns a randomized copy of g with the identical per-vertex
 // degree sequence, produced by swapsPerEdge·m attempted double-edge swaps.
 // swapsPerEdge around 5–10 is sufficient to decorrelate from the original
@@ -155,14 +181,7 @@ func Rewire(g *graph.Graph, swapsPerEdge float64, rng *rand.Rand) (*graph.Graph,
 		return nil, ErrNoRNG
 	}
 	r := newRewirer(g)
-	m := len(r.edges)
-	if m < 2 {
-		return r.build(g)
-	}
-	attempts := int(swapsPerEdge * float64(m))
-	for k := 0; k < attempts; k++ {
-		r.trySwap(rng.Intn(m), rng.Intn(m), rng)
-	}
+	r.mix(swapsPerEdge, rng)
 	return r.build(g)
 }
 
@@ -301,15 +320,175 @@ func havelHakimi(deg []int) (*graph.Graph, error) {
 	return g, nil
 }
 
+// sampleScratch is the reusable per-worker state for overlay sampling:
+// the rewirer's edge buffer and presence map. Pooled globally — the
+// buffers grow to fit whatever graph a worker touches and are reused
+// across estimator calls, so steady-state sampling allocates nothing.
+type sampleScratch struct {
+	rw rewirer
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(sampleScratch) }}
+
+// Estimator estimates E(m_C) — the expected internal edge count of a
+// vertex set under the degree-preserving null model — from Viger–Latapy
+// rewire samples held as graph.Overlay values over the source graph.
+// Because rewiring preserves every vertex's in- and out-degree, the
+// samples share the source graph's interning tables and CSR offsets;
+// each sample owns only its 2m adjacency entries.
+//
+// An Estimator is safe for concurrent use by multiple goroutines until
+// Close is called. Close returns the overlays to the arena the estimator
+// was built with; the estimator must not be used afterwards.
+type Estimator struct {
+	overlays []*graph.Overlay
+	arena    *graph.OverlayArena
+}
+
+// EstimatorOptions tunes NewEmpiricalEstimator.
+type EstimatorOptions struct {
+	// Workers bounds the sampling worker pool; <= 0 selects GOMAXPROCS.
+	Workers int
+	// Arena supplies pooled overlay buffers. It must pool the same graph
+	// the estimator samples. Nil uses a private arena, which still pools
+	// rewiring scratch but cannot reuse overlay buffers across estimator
+	// lifetimes; pass a shared arena and Close estimators to make
+	// repeated sampling allocation-free after warm-up.
+	Arena *graph.OverlayArena
+}
+
+// NewEmpiricalEstimator generates `samples` degree-preserving random
+// overlays of g and returns the estimator over them. Every sample owns a
+// child RNG seeded from the parent stream up front, which makes the
+// result deterministic for a given rng regardless of worker count or
+// scheduling — and bit-identical to the historical graph-materializing
+// implementation (asserted by TestEstimatorMatchesRewireReference).
+func NewEmpiricalEstimator(g *graph.Graph, samples int, swapsPerEdge float64, rng *rand.Rand, opts EstimatorOptions) (*Estimator, error) {
+	if rng == nil {
+		return nil, ErrNoRNG
+	}
+	if samples < 1 {
+		return nil, errors.New("nullmodel: need at least one sample")
+	}
+	arena := opts.Arena
+	if arena == nil {
+		arena = graph.NewOverlayArena(g)
+	} else if arena.Parent() != g {
+		return nil, errors.New("nullmodel: overlay arena pools a different graph")
+	}
+	// Draw every child seed from the parent stream before fanning out so
+	// sample i sees the same RNG no matter which worker runs it.
+	seeds := make([]int64, samples)
+	for i := range seeds {
+		seeds[i] = rng.Int63()
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > samples {
+		workers = samples
+	}
+
+	template := g.EdgeList()
+	directed, n := g.Directed(), g.NumVertices()
+	overlays := make([]*graph.Overlay, samples)
+	errs := make([]error, samples)
+	sampleInto := func(i int, scr *sampleScratch) {
+		scr.rw.resetFrom(directed, n, template)
+		scr.rw.mix(swapsPerEdge, rand.New(rand.NewSource(seeds[i])))
+		ov := arena.Get()
+		if err := ov.FillFromEdges(scr.rw.edges); err != nil {
+			arena.Put(ov)
+			errs[i] = err
+			return
+		}
+		overlays[i] = ov
+	}
+	if workers <= 1 {
+		scr := scratchPool.Get().(*sampleScratch)
+		for i := range overlays {
+			sampleInto(i, scr)
+		}
+		scratchPool.Put(scr)
+	} else {
+		next := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				scr := scratchPool.Get().(*sampleScratch)
+				defer scratchPool.Put(scr)
+				for i := range next {
+					sampleInto(i, scr)
+				}
+			}()
+		}
+		for i := range overlays {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			for _, ov := range overlays {
+				if ov != nil {
+					arena.Put(ov)
+				}
+			}
+			return nil, fmt.Errorf("sample %d: %w", i, err)
+		}
+	}
+	return &Estimator{overlays: overlays, arena: arena}, nil
+}
+
+// Samples returns the number of null-model samples backing the estimator.
+func (e *Estimator) Samples() int { return len(e.overlays) }
+
+// Sample returns the i-th sampled overlay. It remains valid until Close.
+func (e *Estimator) Sample(i int) *graph.Overlay { return e.overlays[i] }
+
+// Expectation returns the mean internal edge count of the set across the
+// samples, accumulated in sample order so the value is deterministic.
+func (e *Estimator) Expectation(set *graph.Set) float64 {
+	if len(e.overlays) == 0 {
+		return 0
+	}
+	var total float64
+	for _, ov := range e.overlays {
+		total += float64(graph.Cut(ov, set).Internal)
+	}
+	return total / float64(len(e.overlays))
+}
+
+// Func adapts the estimator to the score.Context.NullExpectation shape.
+func (e *Estimator) Func() func(set *graph.Set) float64 { return e.Expectation }
+
+// Close returns the overlays to the estimator's arena for reuse by later
+// estimators. The estimator must not be used after Close; calling Close
+// again is a no-op. Close must not race with Expectation callers.
+func (e *Estimator) Close() {
+	for i, ov := range e.overlays {
+		e.arena.Put(ov)
+		e.overlays[i] = nil
+	}
+	e.overlays = e.overlays[:0]
+}
+
 // EmpiricalExpectation generates `samples` degree-preserving random
-// graphs and returns an estimator of E(m_C): the mean internal edge count
-// of a vertex set across the samples. This is the empirical counterpart
-// of Context.ChungLuExpectation and plugs directly into
+// overlays and returns an estimator of E(m_C): the mean internal edge
+// count of a vertex set across the samples. This is the empirical
+// counterpart of Context.ChungLuExpectation and plugs directly into
 // score.Context.NullExpectation.
 //
 // The samples are generated on a bounded worker pool sized to
 // GOMAXPROCS; see EmpiricalExpectationWorkers for an explicit worker
-// count. The returned estimator is safe for concurrent use.
+// count. The returned estimator is safe for concurrent use. Callers that
+// sample repeatedly should use NewEmpiricalEstimator with a shared
+// OverlayArena and Close finished estimators, which makes sampling
+// allocation-free after warm-up.
 func EmpiricalExpectation(g *graph.Graph, samples int, swapsPerEdge float64, rng *rand.Rand) (func(set *graph.Set) float64, error) {
 	return EmpiricalExpectationWorkers(g, samples, swapsPerEdge, rng, 0)
 }
@@ -321,60 +500,9 @@ func EmpiricalExpectation(g *graph.Graph, samples int, swapsPerEdge float64, rng
 // which makes the estimator deterministic for a given rng regardless of
 // worker count or scheduling.
 func EmpiricalExpectationWorkers(g *graph.Graph, samples int, swapsPerEdge float64, rng *rand.Rand, workers int) (func(set *graph.Set) float64, error) {
-	if rng == nil {
-		return nil, ErrNoRNG
+	est, err := NewEmpiricalEstimator(g, samples, swapsPerEdge, rng, EstimatorOptions{Workers: workers})
+	if err != nil {
+		return nil, err
 	}
-	if samples < 1 {
-		return nil, errors.New("nullmodel: need at least one sample")
-	}
-	// Draw every child seed from the parent stream before fanning out so
-	// sample i sees the same RNG no matter which worker runs it.
-	seeds := make([]int64, samples)
-	for i := range seeds {
-		seeds[i] = rng.Int63()
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > samples {
-		workers = samples
-	}
-
-	randoms := make([]*graph.Graph, samples)
-	errs := make([]error, samples)
-	if workers <= 1 {
-		for i := range randoms {
-			randoms[i], errs[i] = Rewire(g, swapsPerEdge, rand.New(rand.NewSource(seeds[i])))
-		}
-	} else {
-		next := make(chan int)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range next {
-					randoms[i], errs[i] = Rewire(g, swapsPerEdge, rand.New(rand.NewSource(seeds[i])))
-				}
-			}()
-		}
-		for i := range randoms {
-			next <- i
-		}
-		close(next)
-		wg.Wait()
-	}
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("sample %d: %w", i, err)
-		}
-	}
-	return func(set *graph.Set) float64 {
-		var total float64
-		for _, rg := range randoms {
-			cut := graph.Cut(rg, set)
-			total += float64(cut.Internal)
-		}
-		return total / float64(len(randoms))
-	}, nil
+	return est.Func(), nil
 }
