@@ -1,11 +1,14 @@
 GO        ?= go
 DATE      := $(shell date +%Y-%m-%d)
 BENCH_OUT ?= BENCH_$(DATE).json
-# Hot paths of the concurrent experiment engine plus the scoring kernels.
-BENCH     ?= RunAll|EmpiricalExpectation|Characterize|PaperScores|ParallelScores
+# Hot paths of the concurrent experiment engine plus the scoring kernels,
+# and the disabled-instrumentation fast path (must stay at 0 allocs/op).
+BENCH     ?= RunAll|EmpiricalExpectation|Characterize|PaperScores|ParallelScores|Recorder
 BENCHTIME ?= 1x
+# make profile output directory.
+PROFILE_DIR ?= profile
 
-.PHONY: all build test race vet lint bench clean
+.PHONY: all build test race vet lint bench profile clean
 
 all: build vet lint test
 
@@ -22,7 +25,8 @@ vet:
 	$(GO) vet ./...
 
 # Project-specific determinism & concurrency checks (internal/lint):
-# maporder, globalrng, walltime, floateq, goroutineleak. Exits non-zero
+# maporder, globalrng, walltime, floateq, goroutineleak, ctxfirst.
+# Exits non-zero
 # with file:line diagnostics on any finding; suppress individual lines
 # with `//lint:ignore <check> <reason>`.
 lint:
@@ -35,5 +39,21 @@ lint:
 bench:
 	$(GO) test -run='^$$' -bench='$(BENCH)' -benchmem -benchtime=$(BENCHTIME) -json . | tee $(BENCH_OUT)
 
+# Profile one full circlebench run: CPU profile, heap profile, execution
+# trace, and the JSONL run manifest land in $(PROFILE_DIR). Inspect with
+# `go tool pprof $(PROFILE_DIR)/cpu.pprof`, `go tool trace
+# $(PROFILE_DIR)/run.trace`, and `circlebench compare
+# $(PROFILE_DIR)/run.manifest.jsonl`.
+profile:
+	mkdir -p $(PROFILE_DIR)
+	$(GO) run ./cmd/circlebench -scale 0.3 \
+		-cpuprofile $(PROFILE_DIR)/cpu.pprof \
+		-memprofile $(PROFILE_DIR)/mem.pprof \
+		-trace $(PROFILE_DIR)/run.trace \
+		-manifest $(PROFILE_DIR)/run.manifest.jsonl \
+		> $(PROFILE_DIR)/report.txt
+	$(GO) run ./cmd/circlebench compare $(PROFILE_DIR)/run.manifest.jsonl
+
 clean:
-	rm -f circlebench BENCH_*.json
+	rm -f circlebench BENCH_*.json circlebench.manifest.jsonl
+	rm -rf $(PROFILE_DIR)

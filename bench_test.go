@@ -25,6 +25,7 @@ import (
 	"gpluscircles/internal/graph"
 	"gpluscircles/internal/graphalgo"
 	"gpluscircles/internal/nullmodel"
+	"gpluscircles/internal/obs"
 	"gpluscircles/internal/powerlaw"
 	"gpluscircles/internal/sample"
 	"gpluscircles/internal/score"
@@ -651,8 +652,9 @@ func BenchmarkRunAllParallel(b *testing.B) {
 func nullBenchArena(b *testing.B, s *core.Suite, g *graph.Graph, samples, workers int) *graph.OverlayArena {
 	b.Helper()
 	arena := graph.NewOverlayArena(g)
-	est, err := nullmodel.NewEmpiricalEstimator(g, samples, 1, s.RNG(-1),
-		nullmodel.EstimatorOptions{Workers: workers, Arena: arena})
+	est, err := nullmodel.NewEmpiricalEstimator(g, nullmodel.EstimatorOptions{
+		Samples: samples, SwapsPerEdge: 1, RNG: s.RNG(-1), Workers: workers, Arena: arena,
+	})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -672,8 +674,9 @@ func BenchmarkEmpiricalExpectation(b *testing.B) {
 	arena := nullBenchArena(b, s, tw.Graph, 32, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		est, err := nullmodel.NewEmpiricalEstimator(tw.Graph, 32, 1, s.RNG(int64(i)),
-			nullmodel.EstimatorOptions{Workers: 1, Arena: arena})
+		est, err := nullmodel.NewEmpiricalEstimator(tw.Graph, nullmodel.EstimatorOptions{
+			Samples: 32, SwapsPerEdge: 1, RNG: s.RNG(int64(i)), Workers: 1, Arena: arena,
+		})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -692,8 +695,9 @@ func BenchmarkEmpiricalExpectationParallel(b *testing.B) {
 	arena := nullBenchArena(b, s, tw.Graph, 32, 0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		est, err := nullmodel.NewEmpiricalEstimator(tw.Graph, 32, 1, s.RNG(int64(i)),
-			nullmodel.EstimatorOptions{Workers: 0, Arena: arena})
+		est, err := nullmodel.NewEmpiricalEstimator(tw.Graph, nullmodel.EstimatorOptions{
+			Samples: 32, SwapsPerEdge: 1, RNG: s.RNG(int64(i)), Arena: arena,
+		})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -716,5 +720,37 @@ func BenchmarkCharacterizeParallel(b *testing.B) {
 		if _, err := core.CharacterizeGraph(gp.Name, gp.Graph, opts, s.RNG(int64(i))); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkRecorderDisabled pins the observability contract: with a nil
+// *obs.Recorder every handle is nil and every instrumentation call on
+// the hot path — counter add, timer observe, span lifecycle — must cost
+// a nil check and nothing else. The 0 allocs/op result is asserted
+// in-benchmark so `make bench` (and the CI smoke run) fails loudly if
+// the disabled path ever starts allocating.
+func BenchmarkRecorderDisabled(b *testing.B) {
+	var rec *obs.Recorder
+	counter := rec.Counter("bench.counter")
+	timer := rec.Timer("bench.timer")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		counter.Inc()
+		counter.Add(int64(i))
+		timer.Observe(0)
+		sp := rec.StartSpan("bench")
+		child := sp.StartChild("inner")
+		child.SetAttr("k", "v")
+		child.End()
+		sp.End()
+	}
+	b.StopTimer()
+	if allocs := testing.AllocsPerRun(100, func() {
+		counter.Inc()
+		timer.Observe(0)
+		rec.StartSpan("x").End()
+	}); allocs != 0 {
+		b.Fatalf("disabled recorder allocates: %v allocs/op", allocs)
 	}
 }

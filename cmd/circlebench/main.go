@@ -5,27 +5,51 @@
 // Usage:
 //
 //	circlebench [-scale 1.0] [-seed 1] [-null-samples 0] [-workers 0] [-experiment id]
-//	circlebench -list
+//	circlebench [-manifest run.manifest.jsonl] [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-trace out.trace]
+//	circlebench -list [-json]
 //	circlebench compare OLD.json NEW.json
+//	circlebench compare RUN.manifest.jsonl
 //
-// The compare subcommand diffs two recorded benchmark runs (the
-// BENCH_*.json files produced by `make bench`, i.e. `go test -json`
-// streams) and prints per-benchmark ns/op, B/op, and allocs/op deltas.
+// Every run writes a JSONL run manifest (seed, options, git revision,
+// per-experiment spans, metric snapshot) next to the report — see
+// -manifest; pass -manifest "" to disable. Interrupting a run (Ctrl-C)
+// cancels it cleanly at the next experiment boundary and still writes a
+// partial manifest. The -cpuprofile/-memprofile/-trace flags wire
+// runtime/pprof and runtime/trace around the whole run.
+//
+// The compare subcommand with two arguments diffs two recorded
+// benchmark runs (the BENCH_*.json files produced by `make bench`, i.e.
+// `go test -json` streams) and prints per-benchmark ns/op, B/op, and
+// allocs/op deltas. With one argument it summarizes a run manifest:
+// meta, per-experiment wall times, stage spans, and hot-path counters.
 //
 // Experiment IDs map to the paper's artifacts (table2, table3, fig2,
 // fig3, fig4, fig5, fig6, directedness, ablation-null, ablation-sampler,
 // extended-scores). Without -experiment, all run in paper order, fanned
 // out over -workers goroutines (0 = GOMAXPROCS); -workers=1 keeps the
 // serial path. The report bytes are identical either way at a given
-// seed.
+// seed, and never depend on instrumentation being on or off.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"os/signal"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+	"strconv"
+	"strings"
+	"time"
 
+	"gpluscircles/internal/cliflag"
 	"gpluscircles/internal/core"
+	"gpluscircles/internal/graphalgo"
+	"gpluscircles/internal/obs"
 )
 
 func main() {
@@ -39,58 +63,215 @@ func run() error {
 	// The compare subcommand has its own positional syntax; dispatch it
 	// before flag.Parse sees the arguments.
 	if len(os.Args) > 1 && os.Args[1] == "compare" {
-		if len(os.Args) != 4 {
-			return fmt.Errorf("usage: circlebench compare OLD.json NEW.json")
+		switch len(os.Args) {
+		case 3:
+			return summarizeManifest(os.Stdout, os.Args[2])
+		case 4:
+			return runCompare(os.Stdout, os.Args[2], os.Args[3])
+		default:
+			return fmt.Errorf("usage: circlebench compare OLD.json NEW.json | circlebench compare RUN.manifest.jsonl")
 		}
-		return runCompare(os.Stdout, os.Args[2], os.Args[3])
 	}
 
 	var (
 		scale       = flag.Float64("scale", 1.0, "data-set scale factor (1.0 = laptop default, ~1/25 of the paper)")
-		seed        = flag.Int64("seed", 1, "generator and sampler seed")
+		seed        = cliflag.Seed(flag.CommandLine)
 		nullSamples = flag.Int("null-samples", 0, "Viger-Latapy null-model samples for Modularity (0 = analytic Chung-Lu)")
-		workers     = flag.Int("workers", 0, "experiment worker pool size (0 = GOMAXPROCS, 1 = serial)")
+		workers     = cliflag.Workers(flag.CommandLine)
+		jsonOut     = cliflag.JSON(flag.CommandLine)
+		verbose     = cliflag.Verbose(flag.CommandLine)
 		experiment  = flag.String("experiment", "", "run only this experiment ID")
-		list        = flag.Bool("list", false, "list experiment IDs and exit")
+		list        = flag.Bool("list", false, "list experiment IDs with one-line descriptions and exit")
 		csvDir      = flag.String("csv", "", "also write the figure data series as CSV files into this directory")
+		manifest    = flag.String("manifest", "circlebench.manifest.jsonl", "write the run manifest (JSONL) to this file (empty = disabled)")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile (runtime/pprof) to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		tracefile   = flag.String("trace", "", "write a runtime/trace execution trace to this file")
 	)
 	flag.Parse()
 
 	if *list {
-		for _, e := range core.Experiments() {
-			fmt.Printf("%-18s %s\n", e.ID, e.Title)
+		return listExperiments(os.Stdout, *jsonOut)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
 		}
-		return nil
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *tracefile != "" {
+		f, err := os.Create(*tracefile)
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		defer trace.Stop()
+	}
+	if *memprofile != "" {
+		path := *memprofile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "circlebench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "circlebench: memprofile:", err)
+			}
+		}()
+	}
+
+	// Ctrl-C cancels between experiments; the completed prefix of the
+	// report is already on stdout and the manifest records the partial
+	// run below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var rec *obs.Recorder
+	if *manifest != "" || *verbose {
+		rec = obs.NewRecorder()
+		graphalgo.SetRecorder(rec)
 	}
 
 	suite := core.NewSuite(core.SuiteOptions{
 		Scale:            *scale,
 		Seed:             *seed,
 		NullModelSamples: *nullSamples,
+		Recorder:         rec,
 	})
 
+	var runErr error
 	if *experiment != "" {
 		e, err := core.ExperimentByID(*experiment)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("=== %s [%s] ===\n\n", e.Title, e.ID)
-		if err := e.Run(suite, os.Stdout); err != nil {
-			return err
-		}
+		runErr = suite.RunExperimentCtx(ctx, e, os.Stdout)
 	} else if *workers == 1 {
-		if err := core.RunAll(suite, os.Stdout); err != nil {
-			return err
-		}
-	} else if err := core.RunAllParallel(suite, os.Stdout, *workers); err != nil {
-		return err
+		runErr = suite.RunAllCtx(ctx, os.Stdout)
+	} else {
+		runErr = suite.RunAllParallelCtx(ctx, os.Stdout, *workers)
 	}
 
-	if *csvDir != "" {
+	if runErr == nil && *csvDir != "" {
 		if err := core.WriteFigureCSVs(suite, *csvDir); err != nil {
 			return err
 		}
 		fmt.Printf("\nfigure CSV series written to %s\n", *csvDir)
 	}
+
+	if *manifest != "" {
+		meta := runMeta(rec, *scale, *seed, *nullSamples, *workers, *experiment, runErr)
+		if err := writeRunManifest(*manifest, rec, meta); err != nil {
+			if runErr == nil {
+				return err
+			}
+			fmt.Fprintln(os.Stderr, "circlebench: manifest:", err)
+		} else if *verbose {
+			fmt.Fprintf(os.Stderr, "circlebench: manifest written to %s\n", *manifest)
+		}
+	}
+	if *verbose && rec.Enabled() {
+		dumpSnapshot(os.Stderr, rec)
+	}
+	return runErr
+}
+
+// listExperiments renders the registry, one experiment per line (or as
+// a JSON array with -json).
+func listExperiments(w *os.File, jsonOut bool) error {
+	exps := core.Experiments()
+	if jsonOut {
+		type item struct {
+			ID    string `json:"id"`
+			Title string `json:"title"`
+		}
+		items := make([]item, len(exps))
+		for i, e := range exps {
+			items[i] = item{ID: e.ID, Title: e.Title}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(items)
+	}
+	for _, e := range exps {
+		if _, err := fmt.Fprintf(w, "%-22s %s\n", e.ID, e.Title); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// runMeta assembles the manifest header for this invocation.
+func runMeta(rec *obs.Recorder, scale float64, seed int64, nullSamples, workers int, experiment string, runErr error) obs.Meta {
+	meta := obs.Meta{
+		Tool: "circlebench",
+		Git:  gitDescribe(),
+		Seed: seed,
+		Options: map[string]string{
+			"scale":        strconv.FormatFloat(scale, 'g', -1, 64),
+			"null-samples": strconv.Itoa(nullSamples),
+			"workers":      strconv.Itoa(workers),
+		},
+	}
+	if experiment != "" {
+		meta.Options["experiment"] = experiment
+	}
+	if start := rec.Start(); !start.IsZero() {
+		meta.Start = start.UTC().Format(time.RFC3339)
+	}
+	if runErr != nil {
+		meta.Partial = true
+		meta.Err = runErr.Error()
+	}
+	return meta
+}
+
+// gitDescribe best-effort identifies the producing tree; empty when git
+// or the repository is unavailable.
+func gitDescribe() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// writeRunManifest writes the recorder's manifest to path (atomically
+// enough for a single consumer: truncate + write + close).
+func writeRunManifest(path string, rec *obs.Recorder, meta obs.Meta) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("manifest: %w", err)
+	}
+	if err := obs.WriteManifest(f, rec.Manifest(meta)); err != nil {
+		f.Close()
+		return fmt.Errorf("manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("manifest: %w", err)
+	}
+	return nil
+}
+
+// dumpSnapshot prints the final metric snapshot to stderr for -v runs.
+func dumpSnapshot(w *os.File, rec *obs.Recorder) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	fmt.Fprintln(w, "circlebench: metrics snapshot:")
+	if err := enc.Encode(rec.Snapshot()); err != nil {
+		fmt.Fprintln(w, "circlebench: snapshot:", err)
+	}
 }

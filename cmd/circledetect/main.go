@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	circledetect [-directed] [-seed 1] [-min 3] /path/to/egodir
+//	circledetect [-directed] [-seed 1] [-min 3] [-v] /path/to/egodir
 //
 // The directory uses the McAuley–Leskovec format: <owner>.edges files
 // (and optional <owner>.circles files). cmd/synthgen plus
@@ -20,6 +20,7 @@ import (
 	"os"
 	"strings"
 
+	"gpluscircles/internal/cliflag"
 	"gpluscircles/internal/dataset"
 	"gpluscircles/internal/detect"
 	"gpluscircles/internal/report"
@@ -36,7 +37,8 @@ func main() {
 func run() error {
 	var (
 		directed = flag.Bool("directed", true, "treat ego edge files as directed")
-		seed     = flag.Int64("seed", 1, "label-propagation tie-break seed")
+		seed     = cliflag.Seed(flag.CommandLine)
+		verbose  = cliflag.Verbose(flag.CommandLine)
 		minSize  = flag.Int("min", 3, "minimum detected-circle size")
 	)
 	flag.Parse()
@@ -49,6 +51,10 @@ func run() error {
 		return err
 	}
 	ds := ed.Dataset
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "circledetect: loaded %d ego networks, %d vertices, %d edges, %d truth circles\n",
+			len(ds.EgoNets), ds.Graph.NumVertices(), ds.Graph.NumEdges(), len(ds.Groups))
+	}
 	rng := rand.New(rand.NewSource(*seed))
 	opts := detect.LabelPropagationOptions{MinCommunitySize: *minSize}
 

@@ -28,6 +28,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"gpluscircles/internal/cliflag"
 	"gpluscircles/internal/lint"
 )
 
@@ -47,7 +48,7 @@ func run(w *os.File, args []string) (int, error) {
 	var (
 		checks   = fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
 		list     = fs.Bool("list", false, "list the available checks and exit")
-		jsonMode = fs.Bool("json", false, "emit findings as a JSON array instead of file:line:col lines")
+		jsonMode = cliflag.JSON(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return 0, err

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	fitdist [-directed] [-xmin 0] [-mode edges|values] data.txt[.gz]
+//	fitdist [-directed] [-xmin 0] [-mode edges|values] [-v] data.txt[.gz]
 //
 // With -xmin 0 the full decision procedure runs (tail scan, then body
 // comparison); a positive -xmin pins the cutoff.
@@ -19,6 +19,7 @@ import (
 	"strconv"
 	"strings"
 
+	"gpluscircles/internal/cliflag"
 	"gpluscircles/internal/dataset"
 	"gpluscircles/internal/powerlaw"
 	"gpluscircles/internal/report"
@@ -34,6 +35,7 @@ func main() {
 func run() error {
 	var (
 		directed = flag.Bool("directed", true, "treat an edge list as directed")
+		verbose  = cliflag.Verbose(flag.CommandLine)
 		xmin     = flag.Int("xmin", 0, "fixed tail cutoff (0 = automatic)")
 		mode     = flag.String("mode", "edges", "edges (edge list, fit in-degrees) or values (one integer per line)")
 	)
@@ -59,6 +61,9 @@ func run() error {
 		}
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "fitdist: fitting %d values from %s\n", len(data), path)
 	}
 
 	var res *powerlaw.FitResult

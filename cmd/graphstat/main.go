@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	graphstat [-directed] [-sources 64] [-cc-samples 2000] [-seed 1] graph.txt[.gz]
+//	graphstat [-directed] [-sources 64] [-cc-samples 2000] [-seed 1] [-v] graph.txt[.gz]
 package main
 
 import (
@@ -16,6 +16,7 @@ import (
 	"os"
 	"sort"
 
+	"gpluscircles/internal/cliflag"
 	"gpluscircles/internal/core"
 	"gpluscircles/internal/dataset"
 	"gpluscircles/internal/graph"
@@ -36,7 +37,8 @@ func run() error {
 		binary    = flag.Bool("binary", false, "read a binary CSR graph (see synthgen -binary) instead of an edge list")
 		sources   = flag.Int("sources", 64, "BFS sources for diameter/ASP sampling")
 		ccSamples = flag.Int("cc-samples", 2000, "vertices sampled for clustering coefficients")
-		seed      = flag.Int64("seed", 1, "sampling seed")
+		seed      = cliflag.Seed(flag.CommandLine)
+		verbose   = cliflag.Verbose(flag.CommandLine)
 		top       = flag.Int("top", 0, "also print the top-N vertices by PageRank, betweenness (sampled) and core number")
 	)
 	flag.Parse()
@@ -54,6 +56,10 @@ func run() error {
 	}
 	if err != nil {
 		return err
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "graphstat: loaded %s: %d vertices, %d edges\n",
+			path, g.NumVertices(), g.NumEdges())
 	}
 
 	rng := rand.New(rand.NewSource(*seed))

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	synthgen [-scale 1.0] [-seed 1] [-out dir] [-dataset name]
+//	synthgen [-scale 1.0] [-seed 1] [-out dir] [-dataset name] [-v]
 //
 // Datasets: gplus, twitter, livejournal, orkut, crawl, all (default).
 package main
@@ -16,6 +16,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"gpluscircles/internal/cliflag"
 	"gpluscircles/internal/core"
 	"gpluscircles/internal/dataset"
 	"gpluscircles/internal/synth"
@@ -30,11 +31,12 @@ func main() {
 
 func run() error {
 	var (
-		scale  = flag.Float64("scale", 1.0, "data-set scale factor")
-		seed   = flag.Int64("seed", 1, "generator seed")
-		out    = flag.String("out", ".", "output directory")
-		which  = flag.String("dataset", "all", "gplus|twitter|livejournal|orkut|crawl|all")
-		binary = flag.Bool("binary", false, "additionally write binary CSR graphs (.bin) for fast reload")
+		scale   = flag.Float64("scale", 1.0, "data-set scale factor")
+		seed    = cliflag.Seed(flag.CommandLine)
+		verbose = cliflag.Verbose(flag.CommandLine)
+		out     = flag.String("out", ".", "output directory")
+		which   = flag.String("dataset", "all", "gplus|twitter|livejournal|orkut|crawl|all")
+		binary  = flag.Bool("binary", false, "additionally write binary CSR graphs (.bin) for fast reload")
 	)
 	flag.Parse()
 
@@ -59,6 +61,9 @@ func run() error {
 	}
 
 	for _, name := range names {
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "synthgen: generating %s at scale %g, seed %d\n", name, *scale, *seed)
+		}
 		ds, err := generators[name]()
 		if err != nil {
 			return err

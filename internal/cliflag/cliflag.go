@@ -1,0 +1,33 @@
+// Package cliflag centralizes the flag conventions shared by the cmd/
+// binaries. Every command that takes a seed, a worker count, a JSON
+// switch or a verbosity switch registers it through these helpers, so
+// the flags are spelled, defaulted and documented identically across
+// the whole tool set (a binary adopts the subset that applies to it).
+package cliflag
+
+import "flag"
+
+// Seed registers the shared -seed flag. Everything random in a binary
+// must derive deterministically from this one value; 1 is the project's
+// canonical default seed.
+func Seed(fs *flag.FlagSet) *int64 {
+	return fs.Int64("seed", 1, "deterministic seed driving every generator and sampler")
+}
+
+// Workers registers the shared -workers flag bounding a binary's worker
+// pools. 0 selects GOMAXPROCS; 1 forces the serial path.
+func Workers(fs *flag.FlagSet) *int {
+	return fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
+}
+
+// JSON registers the shared -json flag switching a binary's primary
+// output from human-readable text to machine-readable JSON.
+func JSON(fs *flag.FlagSet) *bool {
+	return fs.Bool("json", false, "emit machine-readable JSON instead of human-readable text")
+}
+
+// Verbose registers the shared -v flag: extra progress and diagnostics
+// on stderr, never a change to stdout bytes.
+func Verbose(fs *flag.FlagSet) *bool {
+	return fs.Bool("v", false, "log progress and diagnostics to stderr")
+}

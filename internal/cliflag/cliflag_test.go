@@ -1,0 +1,40 @@
+package cliflag
+
+import (
+	"flag"
+	"testing"
+)
+
+// TestSharedFlagConventions pins the contract the cmd/ binaries rely
+// on: names, defaults, and the exact spelling users see in -help.
+func TestSharedFlagConventions(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	seed := Seed(fs)
+	workers := Workers(fs)
+	jsonOut := JSON(fs)
+	verbose := Verbose(fs)
+
+	if *seed != 1 {
+		t.Errorf("default seed = %d, want 1", *seed)
+	}
+	if *workers != 0 {
+		t.Errorf("default workers = %d, want 0 (GOMAXPROCS)", *workers)
+	}
+	if *jsonOut || *verbose {
+		t.Error("json/verbose must default to false")
+	}
+
+	for _, name := range []string{"seed", "workers", "json", "v"} {
+		if fs.Lookup(name) == nil {
+			t.Errorf("flag -%s not registered", name)
+		}
+	}
+
+	if err := fs.Parse([]string{"-seed", "42", "-workers", "3", "-json", "-v"}); err != nil {
+		t.Fatal(err)
+	}
+	if *seed != 42 || *workers != 3 || !*jsonOut || !*verbose {
+		t.Errorf("parsed values: seed=%d workers=%d json=%v v=%v",
+			*seed, *workers, *jsonOut, *verbose)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -68,17 +69,11 @@ func ExperimentByID(id string) (Experiment, error) {
 	return Experiment{}, fmt.Errorf("%w: %q", ErrUnknownExperiment, id)
 }
 
-// RunAll executes every registered experiment in order.
+// RunAll executes every registered experiment in order. It is
+// Suite.RunAllCtx with a background context — use the Ctx form when the
+// caller wants cancellation.
 func RunAll(s *Suite, w io.Writer) error {
-	for _, e := range Experiments() {
-		if _, err := fmt.Fprintf(w, "\n=== %s [%s] ===\n\n", e.Title, e.ID); err != nil {
-			return fmt.Errorf("experiment header: %w", err)
-		}
-		if err := e.Run(s, w); err != nil {
-			return fmt.Errorf("experiment %s: %w", e.ID, err)
-		}
-	}
-	return nil
+	return s.RunAllCtx(context.Background(), w)
 }
 
 func runTable2(s *Suite, w io.Writer) error {
@@ -307,6 +302,7 @@ func runFig5(s *Suite, w io.Writer) error {
 		NullModelSamples: s.opts.NullModelSamples,
 		Context:          s.ScoreContext(gp.Graph),
 		NullArena:        s.NullArena(gp.Graph),
+		Recorder:         s.Recorder(),
 	}, s.RNG(13))
 	if err != nil {
 		return err

@@ -8,6 +8,7 @@ import (
 
 	"gpluscircles/internal/graph"
 	"gpluscircles/internal/nullmodel"
+	"gpluscircles/internal/obs"
 	"gpluscircles/internal/sample"
 	"gpluscircles/internal/score"
 	"gpluscircles/internal/stats"
@@ -86,6 +87,10 @@ type Fig5Options struct {
 	NullArena *graph.OverlayArena
 	// Workers bounds the scoring worker pool; 0 selects GOMAXPROCS.
 	Workers int
+	// Recorder, when non-nil, instruments the private scoring context
+	// and empirical estimator (typically Suite.Recorder). It is ignored
+	// when a shared Context is honored — that context carries its own.
+	Recorder *obs.Recorder
 }
 
 // CirclesVsRandom runs the Fig. 5 experiment: score the data set's groups
@@ -110,7 +115,7 @@ func CirclesVsRandom(ds *synth.Dataset, opts Fig5Options, rng *rand.Rand) (*Fig5
 	if ctx == nil || opts.NullModelSamples > 0 {
 		var err error
 		var done func()
-		ctx, done, err = newScoringContext(ds.Graph, opts.NullModelSamples, opts.NullModelSwapsPerEdge, rng, opts.NullArena)
+		ctx, done, err = newScoringContext(ds.Graph, opts.NullModelSamples, opts.NullModelSwapsPerEdge, rng, opts.NullArena, opts.Recorder)
 		if err != nil {
 			return nil, err
 		}
@@ -155,15 +160,22 @@ func CirclesVsRandom(ds *synth.Dataset, opts Fig5Options, rng *rand.Rand) (*Fig5
 // empirical null model backed by pooled overlays from the arena (nil
 // arena = private). The returned cleanup releases the estimator's
 // overlays; call it once the context is no longer used for scoring.
-func newScoringContext(g *graph.Graph, nullSamples int, swapsPerEdge float64, rng *rand.Rand, arena *graph.OverlayArena) (*score.Context, func(), error) {
+func newScoringContext(g *graph.Graph, nullSamples int, swapsPerEdge float64, rng *rand.Rand, arena *graph.OverlayArena, rec *obs.Recorder) (*score.Context, func(), error) {
 	ctx := score.NewContext(g)
+	ctx.Recorder = rec
 	if nullSamples <= 0 {
 		return ctx, func() {}, nil
 	}
 	if swapsPerEdge <= 0 {
 		swapsPerEdge = 5
 	}
-	est, err := nullmodel.NewEmpiricalEstimator(g, nullSamples, swapsPerEdge, rng, nullmodel.EstimatorOptions{Arena: arena})
+	est, err := nullmodel.NewEmpiricalEstimator(g, nullmodel.EstimatorOptions{
+		Samples:      nullSamples,
+		SwapsPerEdge: swapsPerEdge,
+		RNG:          rng,
+		Arena:        arena,
+		Recorder:     rec,
+	})
 	if err != nil {
 		return nil, nil, fmt.Errorf("empirical null model: %w", err)
 	}
@@ -335,7 +347,7 @@ func CompareNullModelsArena(ds *synth.Dataset, samples int, swapsPerEdge float64
 
 	analytic := score.EvaluateGroupsParallel(score.NewContext(ds.Graph), ds.Groups, mod, 0)
 
-	ctx, done, err := newScoringContext(ds.Graph, samples, swapsPerEdge, rng, arena)
+	ctx, done, err := newScoringContext(ds.Graph, samples, swapsPerEdge, rng, arena, nil)
 	if err != nil {
 		return nil, err
 	}

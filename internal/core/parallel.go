@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -9,21 +10,34 @@ import (
 )
 
 // RunAllParallel executes every registered experiment like RunAll, but
-// fans the experiments out over a bounded worker pool of the given size
-// (workers <= 0 selects GOMAXPROCS; workers == 1 falls back to the
-// serial RunAll). Each experiment renders into a private in-memory
-// buffer, and the sections are emitted to w in registry order, so the
-// report is byte-identical to the serial run at the same seed.
+// fans the experiments out over a bounded worker pool. It is
+// Suite.RunAllParallelCtx with a background context.
+func RunAllParallel(s *Suite, w io.Writer, workers int) error {
+	return s.RunAllParallelCtx(context.Background(), w, workers)
+}
+
+// RunAllParallelCtx executes every registered experiment over a bounded
+// worker pool of the given size (workers <= 0 selects GOMAXPROCS;
+// workers == 1 falls back to the serial RunAllCtx). Each experiment
+// renders into a private in-memory buffer, and the sections are emitted
+// to w in registry order, so the report is byte-identical to the serial
+// run at the same seed.
 //
 // Correctness relies on two properties maintained by the rest of the
 // package: the Suite's lazy caches are generated exactly once under
 // concurrency, and every experiment derives its randomness from a
 // private Suite.RNG stream, so no experiment perturbs another.
 //
+// Cancellation is observed at worker-batch boundaries: a cancelled ctx
+// stops the dispatch of further experiments and marks undispatched ones
+// cancelled, while in-flight experiments run to completion (they are
+// the atomic unit). The emitted report then holds the completed prefix
+// in registry order followed by the wrapped ctx error.
+//
 // Error semantics mirror RunAll: the first failing experiment in
 // registry order aborts the report after its (possibly partial) section
 // has been written; later sections are discarded.
-func RunAllParallel(s *Suite, w io.Writer, workers int) error {
+func (s *Suite) RunAllParallelCtx(ctx context.Context, w io.Writer, workers int) error {
 	exps := Experiments()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -32,8 +46,11 @@ func RunAllParallel(s *Suite, w io.Writer, workers int) error {
 		workers = len(exps)
 	}
 	if workers <= 1 {
-		return RunAll(s, w)
+		return s.RunAllCtx(ctx, w)
 	}
+
+	run := s.opts.Recorder.StartSpan("run")
+	defer run.End()
 
 	bufs := make([]bytes.Buffer, len(exps))
 	errs := make([]error, len(exps))
@@ -44,12 +61,26 @@ func RunAllParallel(s *Suite, w io.Writer, workers int) error {
 		go func() {
 			defer wg.Done()
 			for idx := range next {
-				errs[idx] = exps[idx].Run(s, &bufs[idx])
+				if err := ctx.Err(); err != nil {
+					errs[idx] = err
+					continue
+				}
+				errs[idx] = s.runSpanned(run, exps[idx], &bufs[idx])
 			}
 		}()
 	}
+dispatch:
 	for idx := range exps {
-		next <- idx
+		select {
+		case next <- idx:
+		case <-ctx.Done():
+			// idx and everything after it was never dispatched; mark it
+			// so the emission loop stops at the completed prefix.
+			for rest := idx; rest < len(exps); rest++ {
+				errs[rest] = ctx.Err()
+			}
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
@@ -64,7 +95,9 @@ func RunAllParallel(s *Suite, w io.Writer, workers int) error {
 			return fmt.Errorf("experiment %s output: %w", e.ID, err)
 		}
 		if errs[i] != nil {
-			return fmt.Errorf("experiment %s: %w", e.ID, errs[i])
+			err := fmt.Errorf("experiment %s: %w", e.ID, errs[i])
+			run.Fail(err)
+			return err
 		}
 	}
 	return nil

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 
+	"gpluscircles/internal/obs"
 	"gpluscircles/internal/synth"
 )
 
@@ -26,12 +27,30 @@ func TestRunAllParallelMatchesSerial(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full double report run in -short mode")
 	}
+	// The serial run is instrumented and the parallel one is not: the
+	// byte-equality below therefore also asserts that report bytes never
+	// depend on the recorder.
+	serialOpts := parallelTestOptions()
+	serialOpts.Recorder = obs.NewRecorder()
+
 	var serial, parallel bytes.Buffer
-	if err := RunAll(NewSuite(parallelTestOptions()), &serial); err != nil {
+	if err := RunAll(NewSuite(serialOpts), &serial); err != nil {
 		t.Fatalf("serial RunAll: %v", err)
 	}
 	if err := RunAllParallel(NewSuite(parallelTestOptions()), &parallel, 4); err != nil {
 		t.Fatalf("RunAllParallel: %v", err)
+	}
+
+	// A full run's manifest must carry one experiment span per registry
+	// entry, so a recorded run accounts for every experiment.
+	spanIDs := make(map[string]bool)
+	for _, sp := range serialOpts.Recorder.Manifest(obs.Meta{Tool: "test"}).SpansNamed("experiment") {
+		spanIDs[sp.Attrs["id"]] = true
+	}
+	for _, e := range Experiments() {
+		if !spanIDs[e.ID] {
+			t.Errorf("full run recorded no experiment span for %s", e.ID)
+		}
 	}
 	if serial.Len() == 0 {
 		t.Fatal("serial report is empty")

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"strconv"
+
+	"gpluscircles/internal/obs"
+)
+
+// RunExperimentCtx runs one experiment against the suite, recording an
+// "experiment" span (id attr, wall duration, approximate alloc delta)
+// when the suite was built with a Recorder. ctx is checked once up
+// front: experiments are the atomic unit of cancellation, so a context
+// cancelled mid-experiment lets that experiment finish.
+func (s *Suite) RunExperimentCtx(ctx context.Context, e Experiment, w io.Writer) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: experiment %s not started: %w", e.ID, err)
+	}
+	return s.runSpanned(nil, e, w)
+}
+
+// RunAllCtx executes every registered experiment in order, checking ctx
+// between experiments so cancellation returns a partial report (the
+// completed prefix plus the wrapped ctx error) instead of running to
+// the end. The whole run is recorded under a "run" span with one
+// "experiment" child per section.
+func (s *Suite) RunAllCtx(ctx context.Context, w io.Writer) error {
+	run := s.opts.Recorder.StartSpan("run")
+	defer run.End()
+	for _, e := range Experiments() {
+		if err := ctx.Err(); err != nil {
+			err = fmt.Errorf("core: run cancelled before experiment %s: %w", e.ID, err)
+			run.Fail(err)
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "\n=== %s [%s] ===\n\n", e.Title, e.ID); err != nil {
+			return fmt.Errorf("experiment header: %w", err)
+		}
+		if err := s.runSpanned(run, e, w); err != nil {
+			err = fmt.Errorf("experiment %s: %w", e.ID, err)
+			run.Fail(err)
+			return err
+		}
+	}
+	return nil
+}
+
+// runSpanned executes one experiment under an "experiment" span,
+// parented to the run span when there is one. The alloc delta reads
+// process-global counters (runtime.MemStats.TotalAlloc), so under the
+// parallel engine overlapping experiments each see the union of
+// allocations made while they ran — a deliberate approximation, flagged
+// by the attribute name.
+func (s *Suite) runSpanned(parent *obs.Span, e Experiment, w io.Writer) error {
+	rec := s.opts.Recorder
+	sp := parent.StartChild("experiment")
+	if parent == nil {
+		sp = rec.StartSpan("experiment")
+	}
+	sp.SetAttr("id", e.ID)
+	var before runtime.MemStats
+	if rec.Enabled() {
+		runtime.ReadMemStats(&before)
+	}
+	err := e.Run(s, w)
+	if rec.Enabled() {
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		sp.SetAttr("alloc_bytes_approx", strconv.FormatUint(after.TotalAlloc-before.TotalAlloc, 10))
+	}
+	if err != nil {
+		sp.Fail(err)
+	}
+	sp.End()
+	return err
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"gpluscircles/internal/graph"
+	"gpluscircles/internal/obs"
 	"gpluscircles/internal/score"
 	"gpluscircles/internal/synth"
 )
@@ -25,6 +26,12 @@ type SuiteOptions struct {
 	DistanceSources int
 	// ClusteringSamples bounds clustering-coefficient sampling.
 	ClusteringSamples int
+	// Recorder, when non-nil, receives the suite's metrics and spans:
+	// stage spans for data-set generation and profiling, per-experiment
+	// spans from the Ctx run surface, arena hit/miss counters and
+	// score-function timers. Nil (the default) disables instrumentation
+	// at zero cost — report bytes never depend on it either way.
+	Recorder *obs.Recorder
 }
 
 func (o SuiteOptions) withDefaults() SuiteOptions {
@@ -96,6 +103,22 @@ func NewSuite(opts SuiteOptions) *Suite {
 // Options returns the effective (defaulted) options.
 func (s *Suite) Options() SuiteOptions { return s.opts }
 
+// Recorder returns the suite's observability recorder; nil when the run
+// is uninstrumented. Experiments pass it to subsystems that accept one
+// (estimator options, score contexts) — all of which treat nil as "off".
+func (s *Suite) Recorder() *obs.Recorder { return s.opts.Recorder }
+
+// stageSpan opens a root-level span for a memoized suite stage
+// (data-set generation, graph profiling). Stages are triggered by
+// whichever experiment needs them first and are shared by all others,
+// so they are recorded flat rather than under any one experiment span;
+// the dataset attr ties them back to their artifact.
+func (s *Suite) stageSpan(stage, dataset string) *obs.Span {
+	sp := s.opts.Recorder.StartSpan(stage)
+	sp.SetAttr("dataset", dataset)
+	return sp
+}
+
 // RNG returns a fresh deterministic RNG derived from the suite seed and
 // the given stream label, so experiments don't perturb each other.
 func (s *Suite) RNG(stream int64) *rand.Rand {
@@ -114,6 +137,7 @@ func (s *Suite) scaleInt(v int, floor int) int {
 // GPlus returns the Google+-like ego data set.
 func (s *Suite) GPlus() (*synth.Dataset, error) {
 	s.gplus.once.Do(func() {
+		defer s.stageSpan("generate", "gplus").End()
 		cfg := synth.DefaultEgoConfig()
 		cfg.NumEgos = s.scaleInt(cfg.NumEgos, 6)
 		cfg.PoolSize = s.scaleInt(cfg.PoolSize, 200)
@@ -132,6 +156,7 @@ func (s *Suite) GPlus() (*synth.Dataset, error) {
 // Twitter returns the Twitter-like follower data set.
 func (s *Suite) Twitter() (*synth.Dataset, error) {
 	s.twitter.once.Do(func() {
+		defer s.stageSpan("generate", "twitter").End()
 		cfg := synth.DefaultFollowerConfig()
 		cfg.NumVertices = s.scaleInt(cfg.NumVertices, 400)
 		cfg.NumLists = s.scaleInt(cfg.NumLists, 20)
@@ -149,6 +174,7 @@ func (s *Suite) Twitter() (*synth.Dataset, error) {
 // LiveJournal returns the LiveJournal-like community data set.
 func (s *Suite) LiveJournal() (*synth.Dataset, error) {
 	s.lj.once.Do(func() {
+		defer s.stageSpan("generate", "livejournal").End()
 		cfg := synth.DefaultLiveJournalConfig()
 		cfg.NumVertices = s.scaleInt(cfg.NumVertices, 1500)
 		cfg.NumCommunities = s.scaleInt(cfg.NumCommunities, 60)
@@ -169,6 +195,7 @@ func (s *Suite) LiveJournal() (*synth.Dataset, error) {
 // Orkut returns the Orkut-like community data set.
 func (s *Suite) Orkut() (*synth.Dataset, error) {
 	s.orkut.once.Do(func() {
+		defer s.stageSpan("generate", "orkut").End()
 		cfg := synth.DefaultOrkutConfig()
 		cfg.NumVertices = s.scaleInt(cfg.NumVertices, 1500)
 		cfg.NumCommunities = s.scaleInt(cfg.NumCommunities, 60)
@@ -189,6 +216,7 @@ func (s *Suite) Orkut() (*synth.Dataset, error) {
 // Crawl returns the Magno-like BFS-crawl data set used by Table II.
 func (s *Suite) Crawl() (*synth.Dataset, error) {
 	s.crawl.once.Do(func() {
+		defer s.stageSpan("generate", "crawl").End()
 		cfg := synth.DefaultCrawlConfig()
 		cfg.NumVertices = s.scaleInt(cfg.NumVertices, 2000)
 		cfg.Seed = s.opts.Seed + 4
@@ -255,6 +283,7 @@ func (s *Suite) Profile(ds *synth.Dataset) (*GraphProfile, error) {
 	}
 	s.mu.Unlock()
 	c.once.Do(func() {
+		defer s.stageSpan("profile", ds.Name).End()
 		c.profile, c.err = CharacterizeGraph(ds.Name, ds.Graph, s.profileOptions(), s.RNG(profileStream(ds.Name)))
 	})
 	return c.profile, c.err
@@ -274,6 +303,7 @@ func (s *Suite) ScoreContext(g *graph.Graph) *score.Context {
 	ctx := s.contexts[g]
 	if ctx == nil {
 		ctx = score.NewContext(g)
+		ctx.Recorder = s.opts.Recorder
 		s.contexts[g] = ctx
 	}
 	return ctx
@@ -293,6 +323,9 @@ func (s *Suite) NullArena(g *graph.Graph) *graph.OverlayArena {
 	a := s.arenas[g]
 	if a == nil {
 		a = graph.NewOverlayArena(g)
+		a.Instrument(
+			s.opts.Recorder.Counter("graph.arena.hits"),
+			s.opts.Recorder.Counter("graph.arena.misses"))
 		s.arenas[g] = a
 	}
 	return a

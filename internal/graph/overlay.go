@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"gpluscircles/internal/obs"
 )
 
 // View is the read-only adjacency surface the scoring and analysis code
@@ -260,13 +262,27 @@ func (o *Overlay) Materialize() (*Graph, error) {
 type OverlayArena struct {
 	parent *Graph
 	pool   sync.Pool
+
+	// hits counts Gets served from the pool, misses Gets that had to
+	// allocate a fresh overlay. Nil (the default) disables counting;
+	// see Instrument.
+	hits   *obs.Counter
+	misses *obs.Counter
 }
 
 // NewOverlayArena creates an arena pooling overlays of parent.
 func NewOverlayArena(parent *Graph) *OverlayArena {
-	a := &OverlayArena{parent: parent}
-	a.pool.New = func() any { return NewOverlay(parent) }
-	return a
+	return &OverlayArena{parent: parent}
+}
+
+// Instrument wires the arena's hit/miss counters (a pool hit reuses a
+// buffer, a miss allocates a fresh 2m-entry overlay). Call it before the
+// arena is shared across goroutines — typically right after
+// NewOverlayArena — because the handles are plain fields read by Get.
+// Either counter may be nil.
+func (a *OverlayArena) Instrument(hits, misses *obs.Counter) {
+	a.hits = hits
+	a.misses = misses
 }
 
 // Parent returns the graph whose overlays the arena pools.
@@ -275,7 +291,12 @@ func (a *OverlayArena) Parent() *Graph { return a.parent }
 // Get returns a pooled (or freshly allocated) overlay of the arena's
 // parent. Its adjacency contents are unspecified; see the type comment.
 func (a *OverlayArena) Get() *Overlay {
-	return a.pool.Get().(*Overlay)
+	if v := a.pool.Get(); v != nil {
+		a.hits.Inc()
+		return v.(*Overlay)
+	}
+	a.misses.Inc()
+	return NewOverlay(a.parent)
 }
 
 // Put returns an overlay to the arena. Putting an overlay of a different

@@ -8,9 +8,37 @@ package graphalgo
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"gpluscircles/internal/graph"
+	"gpluscircles/internal/obs"
 )
+
+// bfsCounters bundles the package's traversal metrics so the hot path
+// loads one pointer to find both handles.
+type bfsCounters struct {
+	runs   *obs.Counter
+	visits *obs.Counter
+}
+
+// bfsMetrics holds the active counters; nil (the default) disables
+// instrumentation with a single pointer load per BFS run.
+var bfsMetrics atomic.Pointer[bfsCounters]
+
+// SetRecorder wires the package's BFS metrics ("graphalgo.bfs.runs",
+// "graphalgo.bfs.visits") to rec; a nil rec detaches them. Safe to call
+// concurrently with traversals — counts move to the new recorder from
+// the next BFS run on.
+func SetRecorder(rec *obs.Recorder) {
+	if rec == nil {
+		bfsMetrics.Store(nil)
+		return
+	}
+	bfsMetrics.Store(&bfsCounters{
+		runs:   rec.Counter("graphalgo.bfs.runs"),
+		visits: rec.Counter("graphalgo.bfs.visits"),
+	})
+}
 
 // Direction selects which adjacency BFS traverses.
 type Direction int
@@ -134,6 +162,10 @@ func (st *bfsState) run(g *graph.Graph, src graph.VID, dir Direction) (reached i
 				}
 			}
 		}
+	}
+	if m := bfsMetrics.Load(); m != nil {
+		m.runs.Inc()
+		m.visits.Add(int64(reached))
 	}
 	return reached, ecc, distSum
 }

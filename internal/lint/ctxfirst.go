@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Ctxfirst flags exported functions and methods that accept a
+// context.Context anywhere but the first parameter position (first after
+// the receiver for methods). The run surface threads cancellation
+// through RunAllCtx-style entry points, and Go's convention — enforced
+// here so call sites stay uniform — is that the context leads the
+// signature. Test files are exempt: test helpers conventionally take
+// *testing.T first.
+var Ctxfirst = &Analyzer{
+	Name: "ctxfirst",
+	Doc:  "exported functions taking a context.Context must take it as their first parameter",
+	Run:  runCtxfirst,
+}
+
+func runCtxfirst(pass *Pass) {
+	pkg := pass.Pkg
+	for _, f := range pkg.Files {
+		if isTestFile(pkg.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || !fn.Name.IsExported() || fn.Type.Params == nil {
+				continue
+			}
+			pos := 0
+			for _, field := range fn.Type.Params.List {
+				width := len(field.Names)
+				if width == 0 {
+					width = 1
+				}
+				if pos > 0 && isContextType(pkg, field.Type) {
+					pass.Reportf(field.Pos(),
+						"%s takes context.Context at parameter %d; the context must be the first parameter", fn.Name.Name, pos+1)
+				}
+				pos += width
+			}
+		}
+	}
+}
+
+// isContextType reports whether the expression's type is context.Context.
+func isContextType(pkg *Package, expr ast.Expr) bool {
+	tv, ok := pkg.Info.Types[expr]
+	if !ok {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -14,6 +14,7 @@
 //	walltime      time.Now / time.Since in non-test code
 //	floateq       == / != between floating-point operands
 //	goroutineleak go statements with no visible join in the function
+//	ctxfirst      exported functions taking context.Context anywhere but first
 //
 // A finding can be suppressed with a directive comment on the offending
 // line or the line above it:
@@ -84,6 +85,7 @@ func All() []*Analyzer {
 		Walltime,
 		Floateq,
 		Goroutineleak,
+		Ctxfirst,
 	}
 }
 

@@ -82,6 +82,7 @@ func TestFloateqFixture(t *testing.T)   { runFixture(t, "floateq", "floateq", "f
 func TestGoroutineleakFixture(t *testing.T) {
 	runFixture(t, "goroutineleak", "goroutineleak", "fixture/goroutineleak")
 }
+func TestCtxfirstFixture(t *testing.T) { runFixture(t, "ctxfirst", "ctxfirst", "fixture/ctxfirst") }
 
 // TestFloateqStatsAllowlist checks the approved-tolerance-helper carveout:
 // under an internal/stats import path the allowlisted helper is exempt

@@ -1,0 +1,56 @@
+// Fixture for the ctxfirst check.
+package ctxfirst
+
+import "context"
+
+// Run leads with the context: clean.
+func Run(ctx context.Context, n int) error {
+	_ = ctx
+	_ = n
+	return nil
+}
+
+// Load buries the context behind the path: flagged.
+func Load(path string, ctx context.Context) error { // want ctxfirst
+	_ = path
+	_ = ctx
+	return nil
+}
+
+// Fetch declares the context last among several parameters: flagged.
+func Fetch(host string, port int, ctx context.Context) { // want ctxfirst
+	_, _, _ = host, port, ctx
+}
+
+type Server struct{}
+
+// Serve is a method with the context first after the receiver: clean.
+func (s *Server) Serve(ctx context.Context) error {
+	_ = ctx
+	return nil
+}
+
+// Shutdown is a method hiding the context behind another parameter:
+// flagged.
+func (s *Server) Shutdown(graceSeconds int, ctx context.Context) { // want ctxfirst
+	_, _ = graceSeconds, ctx
+}
+
+// NoContext takes no context at all: clean.
+func NoContext(a, b int) int { return a + b }
+
+// load is unexported; the convention is only enforced on the exported
+// API surface.
+func load(path string, ctx context.Context) {
+	_, _ = path, ctx
+}
+
+// LegacyCallback keeps a grandfathered signature under a reasoned
+// directive.
+//
+//lint:ignore ctxfirst mirrors a frozen upstream callback signature
+func LegacyCallback(data []byte, ctx context.Context) {
+	_, _ = data, ctx
+}
+
+var _ = load

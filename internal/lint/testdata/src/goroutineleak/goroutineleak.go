@@ -1,7 +1,10 @@
 // Fixture for the goroutineleak check.
 package goroutineleak
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 func work(i int) int { return i * i }
 
@@ -56,6 +59,33 @@ func GoodRangeJoin(n int) int {
 		total += v
 	}
 	return total
+}
+
+// GoodCtxSelectJoin is the cancellation-aware worker shape used by the
+// run engine: the spawner blocks on either the worker's result or the
+// context, so the goroutine never outlives an attended join point.
+func GoodCtxSelectJoin(ctx context.Context) int {
+	ch := make(chan int, 1)
+	go func() { ch <- work(5) }()
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// BadCtxWorker accepts a context but never joins: watching ctx.Done
+// inside the goroutine is not a join for the spawner.
+func BadCtxWorker(ctx context.Context, results []int) {
+	go func() { // want goroutineleak
+		for i := range results {
+			if ctx.Err() != nil {
+				return
+			}
+			results[i] = work(i)
+		}
+	}()
 }
 
 // IgnoredDaemon shows the escape hatch for intentional daemons.

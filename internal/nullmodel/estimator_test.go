@@ -80,9 +80,13 @@ func TestEstimatorMatchesRewireReference(t *testing.T) {
 			arena := graph.NewOverlayArena(g)
 			for round := 0; round < 2; round++ { // round 2 runs on pooled buffers
 				for _, workers := range []int{1, 4} {
-					est, err := NewEmpiricalEstimator(g, samples, swapsPerEdge,
-						rand.New(rand.NewSource(seed)),
-						EstimatorOptions{Workers: workers, Arena: arena})
+					est, err := NewEmpiricalEstimator(g, EstimatorOptions{
+						Samples:      samples,
+						SwapsPerEdge: swapsPerEdge,
+						RNG:          rand.New(rand.NewSource(seed)),
+						Workers:      workers,
+						Arena:        arena,
+					})
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -123,7 +127,9 @@ func TestEstimatorClosureMatchesReference(t *testing.T) {
 // serial expectation values, and overlay degree invariants must hold.
 func TestEstimatorSharedAcrossGoroutines(t *testing.T) {
 	g := randomConnectedGraph(t, 31, 80, 300, true)
-	est, err := NewEmpiricalEstimator(g, 5, 2, rand.New(rand.NewSource(13)), EstimatorOptions{Workers: 4})
+	est, err := NewEmpiricalEstimator(g, EstimatorOptions{
+		Samples: 5, SwapsPerEdge: 2, RNG: rand.New(rand.NewSource(13)), Workers: 4,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +182,9 @@ func TestEstimatorArenaRejectsForeignGraph(t *testing.T) {
 	g1 := randomConnectedGraph(t, 41, 20, 40, false)
 	g2 := randomConnectedGraph(t, 42, 20, 40, false)
 	arena := graph.NewOverlayArena(g1)
-	if _, err := NewEmpiricalEstimator(g2, 2, 1, rand.New(rand.NewSource(1)), EstimatorOptions{Arena: arena}); err == nil {
+	if _, err := NewEmpiricalEstimator(g2, EstimatorOptions{
+		Samples: 2, SwapsPerEdge: 1, RNG: rand.New(rand.NewSource(1)), Arena: arena,
+	}); err == nil {
 		t.Fatal("expected an error for an arena pooling a different graph")
 	}
 }
@@ -187,7 +195,9 @@ func TestEstimatorArenaRejectsForeignGraph(t *testing.T) {
 func TestEstimatorSamplesPreserveDegrees(t *testing.T) {
 	for _, directed := range []bool{false, true} {
 		g := randomConnectedGraph(t, 51, 50, 150, directed)
-		est, err := NewEmpiricalEstimator(g, 3, 4, rand.New(rand.NewSource(3)), EstimatorOptions{Workers: 1})
+		est, err := NewEmpiricalEstimator(g, EstimatorOptions{
+			Samples: 3, SwapsPerEdge: 4, RNG: rand.New(rand.NewSource(3)), Workers: 1,
+		})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -17,6 +17,7 @@ import (
 
 	"gpluscircles/internal/graph"
 	"gpluscircles/internal/graphalgo"
+	"gpluscircles/internal/obs"
 )
 
 var (
@@ -158,18 +159,23 @@ func (r *rewirer) build(src *graph.Graph) (*graph.Graph, error) {
 }
 
 // mix runs the plain (connectivity-agnostic) swap chain: swapsPerEdge·m
-// attempted double-edge swaps. The RNG draw sequence is the contract the
+// attempted double-edge swaps, returning how many were attempted and how
+// many were applied (the rest were rejected as self-loops, duplicates or
+// degenerate pairs). The RNG draw sequence is the contract the
 // overlay-based estimator's determinism tests rely on; change it only
 // with a migration plan for recorded expectations.
-func (r *rewirer) mix(swapsPerEdge float64, rng *rand.Rand) {
+func (r *rewirer) mix(swapsPerEdge float64, rng *rand.Rand) (attempts, accepted int) {
 	m := len(r.edges)
 	if m < 2 {
-		return
+		return 0, 0
 	}
-	attempts := int(swapsPerEdge * float64(m))
+	attempts = int(swapsPerEdge * float64(m))
 	for k := 0; k < attempts; k++ {
-		r.trySwap(rng.Intn(m), rng.Intn(m), rng)
+		if _, ok := r.trySwap(rng.Intn(m), rng.Intn(m), rng); ok {
+			accepted++
+		}
 	}
+	return attempts, accepted
 }
 
 // Rewire returns a randomized copy of g with the identical per-vertex
@@ -345,8 +351,23 @@ type Estimator struct {
 	arena    *graph.OverlayArena
 }
 
-// EstimatorOptions tunes NewEmpiricalEstimator.
+// EstimatorOptions configures NewEmpiricalEstimator, mirroring the
+// options-first shape of core.SuiteOptions: zero values select
+// documented defaults via withDefaults, so call sites name only what
+// they change.
 type EstimatorOptions struct {
+	// Samples is the number of degree-preserving random samples; <= 0
+	// selects 32.
+	Samples int
+	// SwapsPerEdge scales the Viger–Latapy swap chain length
+	// (attempts = SwapsPerEdge · m per sample); <= 0 selects 5, enough
+	// to decorrelate from the original topology on social graphs.
+	SwapsPerEdge float64
+	// RNG is the parent random stream. When nil, a private stream
+	// seeded with Seed is used.
+	RNG *rand.Rand
+	// Seed seeds the private stream when RNG is nil; 0 selects 1.
+	Seed int64
 	// Workers bounds the sampling worker pool; <= 0 selects GOMAXPROCS.
 	Workers int
 	// Arena supplies pooled overlay buffers. It must pool the same graph
@@ -355,27 +376,64 @@ type EstimatorOptions struct {
 	// lifetimes; pass a shared arena and Close estimators to make
 	// repeated sampling allocation-free after warm-up.
 	Arena *graph.OverlayArena
+	// Recorder receives the sampler's hot-path metrics (rewire
+	// attempt/reject counters, arena hit/miss for private arenas, one
+	// sample-batch span per construction). Nil disables instrumentation
+	// at zero cost.
+	Recorder *obs.Recorder
 }
 
-// NewEmpiricalEstimator generates `samples` degree-preserving random
+// withDefaults resolves the zero values to the documented defaults.
+func (o EstimatorOptions) withDefaults() EstimatorOptions {
+	if o.Samples <= 0 {
+		o.Samples = 32
+	}
+	if o.SwapsPerEdge <= 0 {
+		o.SwapsPerEdge = 5
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// NewEmpiricalEstimator generates opts.Samples degree-preserving random
 // overlays of g and returns the estimator over them. Every sample owns a
 // child RNG seeded from the parent stream up front, which makes the
-// result deterministic for a given rng regardless of worker count or
+// result deterministic for a given RNG regardless of worker count or
 // scheduling — and bit-identical to the historical graph-materializing
 // implementation (asserted by TestEstimatorMatchesRewireReference).
-func NewEmpiricalEstimator(g *graph.Graph, samples int, swapsPerEdge float64, rng *rand.Rand, opts EstimatorOptions) (*Estimator, error) {
+func NewEmpiricalEstimator(g *graph.Graph, opts EstimatorOptions) (*Estimator, error) {
+	opts = opts.withDefaults()
+	samples := opts.Samples
+	rng := opts.RNG
 	if rng == nil {
-		return nil, ErrNoRNG
-	}
-	if samples < 1 {
-		return nil, errors.New("nullmodel: need at least one sample")
+		rng = rand.New(rand.NewSource(opts.Seed))
 	}
 	arena := opts.Arena
 	if arena == nil {
 		arena = graph.NewOverlayArena(g)
+		// Private arena: safe to instrument, nobody else holds it yet.
+		arena.Instrument(
+			opts.Recorder.Counter("graph.arena.hits"),
+			opts.Recorder.Counter("graph.arena.misses"))
 	} else if arena.Parent() != g {
 		return nil, errors.New("nullmodel: overlay arena pools a different graph")
 	}
+
+	batch := opts.Recorder.StartSpan("sample-batch")
+	if batch != nil { // attr strings would otherwise allocate on the disabled path
+		batch.SetAttr("samples", fmt.Sprint(samples))
+		batch.SetAttr("workers", fmt.Sprint(opts.Workers))
+	}
+	defer batch.End()
+	mAttempts := opts.Recorder.Counter("nullmodel.rewire.attempts")
+	mRejects := opts.Recorder.Counter("nullmodel.rewire.rejects")
+	mSamples := opts.Recorder.Counter("nullmodel.samples")
+
 	// Draw every child seed from the parent stream before fanning out so
 	// sample i sees the same RNG no matter which worker runs it.
 	seeds := make([]int64, samples)
@@ -383,9 +441,6 @@ func NewEmpiricalEstimator(g *graph.Graph, samples int, swapsPerEdge float64, rn
 		seeds[i] = rng.Int63()
 	}
 	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	if workers > samples {
 		workers = samples
 	}
@@ -396,7 +451,10 @@ func NewEmpiricalEstimator(g *graph.Graph, samples int, swapsPerEdge float64, rn
 	errs := make([]error, samples)
 	sampleInto := func(i int, scr *sampleScratch) {
 		scr.rw.resetFrom(directed, n, template)
-		scr.rw.mix(swapsPerEdge, rand.New(rand.NewSource(seeds[i])))
+		attempts, accepted := scr.rw.mix(opts.SwapsPerEdge, rand.New(rand.NewSource(seeds[i])))
+		mAttempts.Add(int64(attempts))
+		mRejects.Add(int64(attempts - accepted))
+		mSamples.Inc()
 		ov := arena.Get()
 		if err := ov.FillFromEdges(scr.rw.edges); err != nil {
 			arena.Put(ov)
@@ -483,24 +541,32 @@ func (e *Estimator) Close() {
 // counterpart of Context.ChungLuExpectation and plugs directly into
 // score.Context.NullExpectation.
 //
-// The samples are generated on a bounded worker pool sized to
-// GOMAXPROCS; see EmpiricalExpectationWorkers for an explicit worker
-// count. The returned estimator is safe for concurrent use. Callers that
-// sample repeatedly should use NewEmpiricalEstimator with a shared
-// OverlayArena and Close finished estimators, which makes sampling
-// allocation-free after warm-up.
+// Deprecated: use NewEmpiricalEstimator with EstimatorOptions, which
+// also exposes the estimator's Close for arena reuse and a Recorder for
+// instrumentation. This wrapper remains for positional-argument callers
+// and leaks its overlays (no Close handle).
 func EmpiricalExpectation(g *graph.Graph, samples int, swapsPerEdge float64, rng *rand.Rand) (func(set *graph.Set) float64, error) {
 	return EmpiricalExpectationWorkers(g, samples, swapsPerEdge, rng, 0)
 }
 
 // EmpiricalExpectationWorkers is EmpiricalExpectation with an explicit
-// worker-pool size (workers <= 0 selects GOMAXPROCS). Each Viger–Latapy
-// rewire sample is independent, so the samples fan out across workers;
-// every sample owns a child RNG seeded from the parent stream up front,
-// which makes the estimator deterministic for a given rng regardless of
-// worker count or scheduling.
+// worker-pool size (workers <= 0 selects GOMAXPROCS).
+//
+// Deprecated: use NewEmpiricalEstimator with EstimatorOptions; see
+// EmpiricalExpectation.
 func EmpiricalExpectationWorkers(g *graph.Graph, samples int, swapsPerEdge float64, rng *rand.Rand, workers int) (func(set *graph.Set) float64, error) {
-	est, err := NewEmpiricalEstimator(g, samples, swapsPerEdge, rng, EstimatorOptions{Workers: workers})
+	if rng == nil {
+		return nil, ErrNoRNG
+	}
+	if samples < 1 {
+		return nil, errors.New("nullmodel: need at least one sample")
+	}
+	est, err := NewEmpiricalEstimator(g, EstimatorOptions{
+		Samples:      samples,
+		SwapsPerEdge: swapsPerEdge,
+		RNG:          rng,
+		Workers:      workers,
+	})
 	if err != nil {
 		return nil, err
 	}

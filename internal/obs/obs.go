@@ -1,0 +1,341 @@
+// Package obs is the observability layer of the reproduction: lock-free
+// atomic counters, gauges and timer histograms behind a Recorder
+// registry, hierarchical spans, and a JSONL run manifest that records
+// what a run did (seed, options, per-span durations, final metric
+// snapshot) next to its report.
+//
+// The package is stdlib-only and a dependency leaf: every other package
+// may import it. Instrumentation follows one convention throughout the
+// repo: a nil *Recorder — and every handle obtained from one — is a
+// no-op. Hot paths therefore hold handles unconditionally and never
+// branch on an "enabled" flag; the disabled path is a nil-receiver
+// method call that performs zero allocations (asserted by
+// TestRecorderDisabledAllocs and BenchmarkRecorderDisabled).
+//
+// Determinism note: metrics and spans measure the wall clock and must
+// never feed report bytes. The report writers ignore the recorder
+// entirely; manifests are written to a separate file. This is why the
+// walltime lint check is suppressed here and nowhere near the report
+// path.
+package obs
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing lock-free metric. The zero value
+// is ready to use; a nil Counter is a no-op.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n. Calling Add on a nil Counter is a no-op.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 for a nil Counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable lock-free metric. A nil Gauge is a no-op.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v. Calling Set on a nil Gauge is a no-op.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adds n to the gauge. Calling Add on a nil Gauge is a no-op.
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current value (0 for a nil Gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// timerBuckets is the histogram resolution: bucket i counts observations
+// with bits.Len64(ns) == i, i.e. power-of-two duration classes from 1 ns
+// up past 2⁶² ns. 64 buckets cover every possible duration.
+const timerBuckets = 64
+
+// Timer is a lock-free duration histogram: total count, summed and
+// maximum nanoseconds, and power-of-two buckets. A nil Timer is a no-op.
+type Timer struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [timerBuckets]atomic.Int64
+}
+
+// Observe records one duration. Calling Observe on a nil Timer is a
+// no-op. Negative durations (a clock step between two reads) count as
+// zero.
+func (t *Timer) Observe(d time.Duration) {
+	if t == nil {
+		return
+	}
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	t.count.Add(1)
+	t.sum.Add(ns)
+	for {
+		cur := t.max.Load()
+		if ns <= cur || t.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	t.buckets[bits.Len64(uint64(ns))].Add(1)
+}
+
+// Stopwatch starts timing and returns the function that stops it and
+// records the elapsed duration. A nil Timer returns a no-op stop
+// function. The enabled path allocates the closure; do not call
+// Stopwatch inside allocation-free hot loops — use Now/Since with
+// Observe instead.
+func (t *Timer) Stopwatch() func() {
+	if t == nil {
+		return func() {}
+	}
+	start := Now()
+	return func() { t.Observe(Since(start)) }
+}
+
+// Now returns the current (monotonic) time for duration measurement.
+// Centralized here so the wall-clock dependency stays inside obs.
+func Now() time.Time {
+	//lint:ignore walltime observability timing is wall-clock by design and never reaches report bytes
+	return time.Now()
+}
+
+// Since returns the elapsed time since start.
+func Since(start time.Time) time.Duration {
+	//lint:ignore walltime observability timing is wall-clock by design and never reaches report bytes
+	return time.Since(start)
+}
+
+// TimerStat is the exported snapshot of one Timer.
+type TimerStat struct {
+	// Count is the number of observations.
+	Count int64 `json:"count"`
+	// SumNs and MaxNs are total and maximum observed nanoseconds.
+	SumNs int64 `json:"sum_ns"`
+	MaxNs int64 `json:"max_ns"`
+	// MeanNs is SumNs/Count (0 when Count is 0).
+	MeanNs float64 `json:"mean_ns"`
+	// Buckets holds the non-empty power-of-two histogram cells: Buckets
+	// key i counts observations with bits.Len64(ns) == i, so cell i
+	// spans [2^(i-1), 2^i) nanoseconds.
+	Buckets map[int]int64 `json:"buckets,omitempty"`
+}
+
+// stat materializes the timer's current state.
+func (t *Timer) stat() TimerStat {
+	s := TimerStat{
+		Count: t.count.Load(),
+		SumNs: t.sum.Load(),
+		MaxNs: t.max.Load(),
+	}
+	if s.Count > 0 {
+		s.MeanNs = float64(s.SumNs) / float64(s.Count)
+	}
+	for i := range t.buckets {
+		if n := t.buckets[i].Load(); n > 0 {
+			if s.Buckets == nil {
+				s.Buckets = make(map[int]int64)
+			}
+			s.Buckets[i] = n
+		}
+	}
+	return s
+}
+
+// Snapshot is a point-in-time export of every registered metric,
+// expvar-style: plain names to plain values, JSON-marshalable. Map keys
+// marshal in sorted order, so two snapshots of the same state produce
+// identical bytes.
+type Snapshot struct {
+	Counters map[string]int64     `json:"counters,omitempty"`
+	Gauges   map[string]int64     `json:"gauges,omitempty"`
+	Timers   map[string]TimerStat `json:"timers,omitempty"`
+}
+
+// Recorder is the metric registry and span collector for one run. Create
+// with NewRecorder; a nil Recorder disables all instrumentation — every
+// method is a nil-safe no-op and every returned handle is nil (itself a
+// no-op).
+//
+// A Recorder is safe for concurrent use: metric handles are created
+// under a mutex and used lock-free afterwards; span completion appends
+// under the same mutex.
+type Recorder struct {
+	start time.Time
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	timers   map[string]*Timer
+	spans    []SpanRecord
+
+	spanID atomic.Int64
+}
+
+// NewRecorder creates an enabled recorder anchored at the current time.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		start:    Now(),
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		timers:   make(map[string]*Timer),
+	}
+}
+
+// Enabled reports whether the recorder records anything.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Start returns the wall-clock time the recorder was created (zero for
+// a nil recorder); manifest writers use it for Meta.Start.
+func (r *Recorder) Start() time.Time {
+	if r == nil {
+		return time.Time{}
+	}
+	return r.start
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// Recorder returns a nil (no-op) Counter. Obtain handles once and reuse
+// them: the lookup takes the registry lock, the handle itself is
+// lock-free.
+func (r *Recorder) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. A nil
+// Recorder returns a nil (no-op) Gauge.
+func (r *Recorder) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Timer returns the named timer, creating it on first use. A nil
+// Recorder returns a nil (no-op) Timer.
+func (r *Recorder) Timer(name string) *Timer {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.timers[name]
+	if t == nil {
+		t = &Timer{}
+		r.timers[name] = t
+	}
+	return t
+}
+
+// Snapshot exports every registered metric. Safe to call while
+// instrumented code runs; the snapshot is not atomic across metrics.
+// A nil Recorder returns a zero Snapshot.
+func (r *Recorder) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	counterNames := sortedKeys(r.counters)
+	gaugeNames := sortedKeys(r.gauges)
+	timerNames := sortedKeys(r.timers)
+	counters := make([]*Counter, len(counterNames))
+	for i, n := range counterNames {
+		counters[i] = r.counters[n]
+	}
+	gauges := make([]*Gauge, len(gaugeNames))
+	for i, n := range gaugeNames {
+		gauges[i] = r.gauges[n]
+	}
+	timers := make([]*Timer, len(timerNames))
+	for i, n := range timerNames {
+		timers[i] = r.timers[n]
+	}
+	r.mu.Unlock()
+
+	snap := Snapshot{}
+	if len(counterNames) > 0 {
+		snap.Counters = make(map[string]int64, len(counterNames))
+		for i, n := range counterNames {
+			snap.Counters[n] = counters[i].Value()
+		}
+	}
+	if len(gaugeNames) > 0 {
+		snap.Gauges = make(map[string]int64, len(gaugeNames))
+		for i, n := range gaugeNames {
+			snap.Gauges[n] = gauges[i].Value()
+		}
+	}
+	if len(timerNames) > 0 {
+		snap.Timers = make(map[string]TimerStat, len(timerNames))
+		for i, n := range timerNames {
+			snap.Timers[n] = timers[i].stat()
+		}
+	}
+	return snap
+}
+
+// sortedKeys returns the map's keys in ascending order, decoupling every
+// consumer from map iteration order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	//lint:ignore maporder keys are sorted immediately below
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeTimer(t *testing.T) {
+	r := NewRecorder()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Errorf("counter = %d, want 42", got)
+	}
+	if r.Counter("c") != c {
+		t.Error("Counter lookup did not return the same handle")
+	}
+
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Errorf("gauge = %d, want 5", got)
+	}
+
+	tm := r.Timer("t")
+	tm.Observe(3 * time.Microsecond)
+	tm.Observe(1 * time.Millisecond)
+	tm.Observe(-time.Second) // clock step: counts as zero
+	st := tm.stat()
+	if st.Count != 3 {
+		t.Errorf("timer count = %d, want 3", st.Count)
+	}
+	if st.MaxNs != int64(time.Millisecond) {
+		t.Errorf("timer max = %d, want %d", st.MaxNs, int64(time.Millisecond))
+	}
+	if st.SumNs != int64(3*time.Microsecond+time.Millisecond) {
+		t.Errorf("timer sum = %d", st.SumNs)
+	}
+	var bucketed int64
+	for _, n := range st.Buckets {
+		bucketed += n
+	}
+	if bucketed != 3 {
+		t.Errorf("bucketed observations = %d, want 3", bucketed)
+	}
+}
+
+func TestSnapshotDeterministicBytes(t *testing.T) {
+	r := NewRecorder()
+	for _, name := range []string{"z", "a", "m/q", "m/p"} {
+		r.Counter(name).Add(3)
+		r.Gauge(name).Set(-1)
+		r.Timer(name).Observe(time.Microsecond)
+	}
+	b1, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Errorf("snapshot bytes differ:\n%s\n%s", b1, b2)
+	}
+}
+
+// TestNilRecorderNoOps drives the entire instrumentation surface through
+// a nil recorder: nothing may panic and nothing may allocate — this is
+// the zero-cost-when-disabled contract every hot path relies on.
+func TestNilRecorderNoOps(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Error("nil recorder reports enabled")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		c := r.Counter("x")
+		c.Inc()
+		c.Add(5)
+		_ = c.Value()
+		g := r.Gauge("x")
+		g.Set(1)
+		tm := r.Timer("x")
+		tm.Observe(time.Second)
+		sp := r.StartSpan("run")
+		child := sp.StartChild("stage")
+		child.SetAttr("k", "v")
+		child.Fail(errors.New("boom"))
+		child.End()
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Errorf("nil-recorder path allocates %v per op, want 0", allocs)
+	}
+	if snap := r.Snapshot(); snap.Counters != nil || snap.Timers != nil {
+		t.Error("nil recorder snapshot not empty")
+	}
+	if r.Spans() != nil {
+		t.Error("nil recorder has spans")
+	}
+}
+
+func TestSpanHierarchy(t *testing.T) {
+	r := NewRecorder()
+	run := r.StartSpan("run")
+	exp := run.StartChild("experiment")
+	exp.SetAttr("id", "fig5")
+	batch := exp.StartChild("sample-batch")
+	batch.End()
+	exp.Fail(errors.New("render failed"))
+	exp.End()
+	run.End()
+
+	spans := r.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	byName := make(map[string]SpanRecord)
+	for _, sp := range spans {
+		byName[sp.Name] = sp
+	}
+	if byName["experiment"].Parent != byName["run"].ID {
+		t.Error("experiment span not parented to run")
+	}
+	if byName["sample-batch"].Parent != byName["experiment"].ID {
+		t.Error("sample-batch span not parented to experiment")
+	}
+	if byName["run"].Parent != 0 {
+		t.Error("run span is not a root")
+	}
+	if byName["experiment"].Attrs["id"] != "fig5" {
+		t.Error("attr lost")
+	}
+	if byName["experiment"].Err != "render failed" {
+		t.Errorf("span err = %q", byName["experiment"].Err)
+	}
+	if byName["run"].DurNs < byName["sample-batch"].DurNs {
+		t.Error("run span shorter than nested batch span")
+	}
+}
+
+// TestRecorderConcurrent hammers one recorder from many goroutines; run
+// under -race this proves handles and span completion are safe to share.
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder()
+	root := r.StartSpan("run")
+	c := r.Counter("shared")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				r.Counter("shared").Add(1)
+				r.Timer("t").Observe(time.Nanosecond)
+			}
+			sp := root.StartChild("worker")
+			sp.End()
+		}(w)
+	}
+	wg.Wait()
+	root.End()
+	if got := c.Value(); got != 16000 {
+		t.Errorf("counter = %d, want 16000", got)
+	}
+	if got := len(r.Spans()); got != 9 {
+		t.Errorf("spans = %d, want 9", got)
+	}
+}
+
+func TestStopwatch(t *testing.T) {
+	r := NewRecorder()
+	tm := r.Timer("sw")
+	stop := tm.Stopwatch()
+	stop()
+	if tm.stat().Count != 1 {
+		t.Error("stopwatch did not record")
+	}
+	var nilTimer *Timer
+	nilTimer.Stopwatch()() // must not panic
+}
+
+func TestReadManifestRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "",
+		"not json":      "BenchmarkFoo 1 100 ns/op\n",
+		"wrong first":   `{"type":"span","span":{"id":1,"name":"x","start_ns":0,"dur_ns":1}}` + "\n",
+		"wrong schema":  `{"type":"meta","meta":{"schema":"other/v9","tool":"x","seed":1}}` + "\n",
+		"unknown lines": `{"type":"meta","meta":{"schema":"` + SchemaV1 + `","tool":"x","seed":1}}` + "\n" + `{"type":"mystery"}` + "\n",
+	}
+	for name, input := range cases {
+		if _, err := ReadManifest(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: ReadManifest accepted invalid input", name)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package obs
+
+// SpanRecord is one finished span as it appears in the manifest. Times
+// are nanosecond offsets from the recorder's start, so records from one
+// run share a single monotonic timeline.
+type SpanRecord struct {
+	// ID is unique within the recorder; Parent is 0 for root spans.
+	ID     int64  `json:"id"`
+	Parent int64  `json:"parent,omitempty"`
+	Name   string `json:"name"`
+	// StartNs is the span's start offset from the recorder anchor;
+	// DurNs its duration.
+	StartNs int64 `json:"start_ns"`
+	DurNs   int64 `json:"dur_ns"`
+	// Attrs carries small key/value annotations (experiment ID, sample
+	// counts, alloc deltas). Marshals with sorted keys.
+	Attrs map[string]string `json:"attrs,omitempty"`
+	// Err is the failure message when the span ended in an error.
+	Err string `json:"err,omitempty"`
+}
+
+// Span is one live node of the hierarchical trace: experiment → stage →
+// sample batch. Spans are created by Recorder.StartSpan or
+// Span.StartChild and finished exactly once with End, which appends the
+// SpanRecord to the recorder.
+//
+// A Span is owned by the goroutine that created it: SetAttr, Fail and
+// End must not race with each other. Children may End on other
+// goroutines; only the parent/child IDs are shared, never mutable state.
+// A nil Span (from a nil Recorder) is a no-op everywhere, including
+// StartChild, so instrumented code never branches on enablement.
+type Span struct {
+	rec    *Recorder
+	id     int64
+	parent int64
+	name   string
+	begin  int64 // offset ns from rec.start
+	attrs  map[string]string
+	err    string
+}
+
+// StartSpan opens a root span. A nil Recorder returns a nil Span.
+func (r *Recorder) StartSpan(name string) *Span {
+	return r.startSpan(name, 0)
+}
+
+func (r *Recorder) startSpan(name string, parent int64) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{
+		rec:    r,
+		id:     r.spanID.Add(1),
+		parent: parent,
+		name:   name,
+		begin:  Since(r.start).Nanoseconds(),
+	}
+}
+
+// StartChild opens a span nested under sp. A nil Span returns nil.
+func (sp *Span) StartChild(name string) *Span {
+	if sp == nil {
+		return nil
+	}
+	return sp.rec.startSpan(name, sp.id)
+}
+
+// SetAttr annotates the span. No-op on a nil Span.
+func (sp *Span) SetAttr(key, value string) {
+	if sp == nil {
+		return
+	}
+	if sp.attrs == nil {
+		sp.attrs = make(map[string]string)
+	}
+	sp.attrs[key] = value
+}
+
+// Fail marks the span as failed; the message lands in the manifest.
+// No-op on a nil Span or a nil error.
+func (sp *Span) Fail(err error) {
+	if sp == nil || err == nil {
+		return
+	}
+	sp.err = err.Error()
+}
+
+// End finishes the span and appends its record to the recorder. End must
+// be called exactly once; a nil Span no-ops. It returns the span's
+// duration in nanoseconds (0 for nil).
+func (sp *Span) End() int64 {
+	if sp == nil {
+		return 0
+	}
+	end := Since(sp.rec.start).Nanoseconds()
+	rec := SpanRecord{
+		ID:      sp.id,
+		Parent:  sp.parent,
+		Name:    sp.name,
+		StartNs: sp.begin,
+		DurNs:   end - sp.begin,
+		Attrs:   sp.attrs,
+		Err:     sp.err,
+	}
+	sp.rec.mu.Lock()
+	sp.rec.spans = append(sp.rec.spans, rec)
+	sp.rec.mu.Unlock()
+	return rec.DurNs
+}
+
+// Spans returns a copy of the finished spans in completion order. A nil
+// Recorder returns nil.
+func (r *Recorder) Spans() []SpanRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SpanRecord, len(r.spans))
+	copy(out, r.spans)
+	return out
+}

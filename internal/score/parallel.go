@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"gpluscircles/internal/graph"
+	"gpluscircles/internal/obs"
 )
 
 // EvaluateGroupsParallel scores every group under every function using a
@@ -48,6 +49,9 @@ func EvaluateGroupsParallel(ctx *Context, groups []Group, fns []Func, workers in
 		}
 	}
 
+	// Timer handles are atomics, so all workers share one slice.
+	timers := ctx.evalTimers(fns)
+
 	next := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -58,8 +62,14 @@ func EvaluateGroupsParallel(ctx *Context, groups []Group, fns []Func, workers in
 			for i := range next {
 				set.Fill(groups[i].Members)
 				cut := graph.Cut(ctx.G, set)
-				for _, f := range fns {
+				for fi, f := range fns {
+					if timers == nil {
+						out[f.Name][i] = f.Eval(ctx, set, cut)
+						continue
+					}
+					start := obs.Now()
 					out[f.Name][i] = f.Eval(ctx, set, cut)
+					timers[fi].Observe(obs.Since(start))
 				}
 			}
 		}()

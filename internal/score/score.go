@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"gpluscircles/internal/graph"
+	"gpluscircles/internal/obs"
 )
 
 // ErrUnknownFunc is returned when a scoring function name is not
@@ -44,6 +45,12 @@ type Context struct {
 	// Chung–Lu expectation; callers may replace it with an empirical
 	// estimator built from Viger–Latapy samples (see package nullmodel).
 	NullExpectation func(set *graph.Set) float64
+
+	// Recorder, when non-nil, receives per-function evaluation timers
+	// ("score/<name>") from the group evaluators. Like NullExpectation it
+	// must be installed before the context is shared; timer handles
+	// themselves are safe for concurrent workers.
+	Recorder *obs.Recorder
 
 	medianOnce   sync.Once
 	medianDegree float64
@@ -180,6 +187,21 @@ func Evaluate(ctx *Context, members []graph.VID, fns []Func) map[string]float64 
 	return out
 }
 
+// evalTimers resolves one timer handle per function ("score/<name>")
+// against the context's recorder, or nil when instrumentation is off —
+// the evaluators hoist this lookup out of their group loops so the
+// disabled path costs a single nil check per evaluation.
+func (ctx *Context) evalTimers(fns []Func) []*obs.Timer {
+	if ctx.Recorder == nil {
+		return nil
+	}
+	timers := make([]*obs.Timer, len(fns))
+	for i, f := range fns {
+		timers[i] = ctx.Recorder.Timer("score/" + f.Name)
+	}
+	return timers
+}
+
 // EvaluateGroups scores every group under every function. The result maps
 // function name -> scores aligned with the groups slice. A reusable set
 // avoids per-group bitmap allocation.
@@ -188,12 +210,20 @@ func EvaluateGroups(ctx *Context, groups []Group, fns []Func) map[string][]float
 	for _, f := range fns {
 		out[f.Name] = make([]float64, 0, len(groups))
 	}
+	timers := ctx.evalTimers(fns)
 	set := graph.NewSet(ctx.G.NumVertices())
 	for _, grp := range groups {
 		set.Fill(grp.Members)
 		cut := graph.Cut(ctx.G, set)
-		for _, f := range fns {
-			out[f.Name] = append(out[f.Name], f.Eval(ctx, set, cut))
+		for fi, f := range fns {
+			if timers == nil {
+				out[f.Name] = append(out[f.Name], f.Eval(ctx, set, cut))
+				continue
+			}
+			start := obs.Now()
+			v := f.Eval(ctx, set, cut)
+			timers[fi].Observe(obs.Since(start))
+			out[f.Name] = append(out[f.Name], v)
 		}
 	}
 	return out
