@@ -5,6 +5,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"gpluscircles/internal/obs"
 )
 
 // runWith invokes run() with a fresh flag set and stdout silenced.
@@ -32,8 +34,23 @@ func TestRunList(t *testing.T) {
 }
 
 func TestRunSingleExperiment(t *testing.T) {
-	if err := runWith(t, "-scale", "0.1", "-experiment", "table3"); err != nil {
+	manifest := filepath.Join(t.TempDir(), "run.manifest.jsonl")
+	if err := runWith(t, "-scale", "0.1", "-experiment", "table3", "-manifest", manifest); err != nil {
 		t.Fatal(err)
+	}
+	// The run's manifest must parse back and carry the experiment span.
+	f, err := os.Open(manifest)
+	if err != nil {
+		t.Fatalf("manifest not written: %v", err)
+	}
+	defer f.Close()
+	m, err := obs.ReadManifest(f)
+	if err != nil {
+		t.Fatalf("manifest does not parse: %v", err)
+	}
+	exps := m.SpansNamed("experiment")
+	if len(exps) != 1 || exps[0].Attrs["id"] != "table3" {
+		t.Errorf("experiment spans = %+v, want exactly table3", exps)
 	}
 }
 
@@ -45,7 +62,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 
 func TestRunWithCSV(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "csv")
-	if err := runWith(t, "-scale", "0.1", "-experiment", "table3", "-csv", dir); err != nil {
+	if err := runWith(t, "-scale", "0.1", "-experiment", "table3", "-csv", dir, "-manifest", ""); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "fig5.csv")); err != nil {
