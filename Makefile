@@ -8,7 +8,7 @@ BENCHTIME ?= 1x
 # make profile output directory.
 PROFILE_DIR ?= profile
 
-.PHONY: all build test race vet lint bench profile clean
+.PHONY: all build test race vet lint bench profile fuzz cover-serve loadsmoke clean
 
 all: build vet lint test
 
@@ -54,6 +54,28 @@ profile:
 		> $(PROFILE_DIR)/report.txt
 	$(GO) run ./cmd/circlebench compare $(PROFILE_DIR)/run.manifest.jsonl
 
+# Coverage-guided fuzz smoke (FUZZTIME per target): the Builder's
+# messy-edge handling and the Overlay's exact-degree fill are the two
+# inputs-from-outside surfaces of the graph core.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzBuilder -fuzztime=$(FUZZTIME) ./internal/graph/
+	$(GO) test -run='^$$' -fuzz=FuzzOverlayFillFromEdges -fuzztime=$(FUZZTIME) ./internal/graph/
+
+# Coverage floor for the serving layer: internal/serve carries the
+# backpressure/coalescing/drain state machine and must stay >= 80%.
+SERVE_COVER ?= serve.cover.out
+cover-serve:
+	$(GO) test -coverprofile=$(SERVE_COVER) ./internal/serve/
+	$(GO) tool cover -func=$(SERVE_COVER) | awk '/^total:/ { sub(/%/,"",$$3); \
+		if ($$3+0 < 80) { printf "internal/serve coverage %s%% is below the 80%% floor\n", $$3; exit 1 } \
+		printf "internal/serve coverage %s%% (floor 80%%)\n", $$3 }'
+
+# End-to-end load smoke: circled under 100 concurrent circleload
+# clients, zero 5xx, clean SIGTERM drain, parseable final manifest.
+loadsmoke:
+	LOADSMOKE_DIR=$(LOADSMOKE_DIR) ./scripts/loadsmoke.sh
+
 clean:
-	rm -f circlebench BENCH_*.json circlebench.manifest.jsonl
+	rm -f circlebench BENCH_*.json circlebench.manifest.jsonl circled.manifest.jsonl $(SERVE_COVER)
 	rm -rf $(PROFILE_DIR)

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSummarizeClassifiesResponses(t *testing.T) {
+	results := []result{
+		{status: 200, latency: 10 * time.Millisecond},
+		{status: 200, latency: 20 * time.Millisecond, coalesced: true},
+		{status: 429, latency: time.Millisecond},
+		{status: 404, latency: time.Millisecond},
+		{status: 500, latency: time.Millisecond},
+		{status: 0, latency: time.Second}, // transport error
+	}
+	rep := summarize(results, 3, 2*time.Second)
+	if rep.Requests != 6 || rep.Concurrency != 3 {
+		t.Errorf("requests/concurrency = %d/%d", rep.Requests, rep.Concurrency)
+	}
+	if rep.OK != 2 || rep.Shed429 != 1 || rep.Client4xx != 1 || rep.Server5xx != 1 || rep.Transport != 1 {
+		t.Errorf("classification: %+v", rep)
+	}
+	if rep.Coalesced != 1 {
+		t.Errorf("coalesced = %d, want 1", rep.Coalesced)
+	}
+	if rep.Throughput != 3 {
+		t.Errorf("throughput = %v req/s, want 3", rep.Throughput)
+	}
+	// Latency quantiles cover only the 2xx responses.
+	if rep.LatencyMs.Max != 20 {
+		t.Errorf("latency max = %v ms, want 20", rep.LatencyMs.Max)
+	}
+}
+
+func TestExactQuantiles(t *testing.T) {
+	if q := exactQuantiles(nil); q != (Quantiles{}) {
+		t.Errorf("empty quantiles = %+v", q)
+	}
+	ms := make([]float64, 100)
+	for i := range ms {
+		ms[i] = float64(i + 1) // 1..100
+	}
+	q := exactQuantiles(ms)
+	if q.P50 != 50 || q.P95 != 95 || q.P99 != 99 || q.Max != 100 {
+		t.Errorf("quantiles = %+v, want p50=50 p95=95 p99=99 max=100", q)
+	}
+	single := exactQuantiles([]float64{7})
+	if single.P50 != 7 || single.P99 != 7 || single.Max != 7 {
+		t.Errorf("single-sample quantiles = %+v", single)
+	}
+}

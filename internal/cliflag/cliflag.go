@@ -31,3 +31,11 @@ func JSON(fs *flag.FlagSet) *bool {
 func Verbose(fs *flag.FlagSet) *bool {
 	return fs.Bool("v", false, "log progress and diagnostics to stderr")
 }
+
+// Addr registers the shared -addr flag used by the serving binaries
+// (circled listens on it, circleload targets it). def supplies the
+// binary-appropriate default, e.g. ":8779" for a listener or
+// "http://127.0.0.1:8779" for a client.
+func Addr(fs *flag.FlagSet, def string) *string {
+	return fs.String("addr", def, "service address")
+}

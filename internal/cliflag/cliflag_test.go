@@ -38,3 +38,22 @@ func TestSharedFlagConventions(t *testing.T) {
 			*seed, *workers, *jsonOut, *verbose)
 	}
 }
+
+// TestAddrFlag pins the service address flag shared by circled (listen
+// address) and circleload (base URL).
+func TestAddrFlag(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	addr := Addr(fs, ":8779")
+	if *addr != ":8779" {
+		t.Errorf("default addr = %q, want :8779", *addr)
+	}
+	if fs.Lookup("addr") == nil {
+		t.Fatal("flag -addr not registered")
+	}
+	if err := fs.Parse([]string{"-addr", "127.0.0.1:9000"}); err != nil {
+		t.Fatal(err)
+	}
+	if *addr != "127.0.0.1:9000" {
+		t.Errorf("parsed addr = %q", *addr)
+	}
+}

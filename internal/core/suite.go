@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
@@ -228,6 +229,36 @@ func (s *Suite) Crawl() (*synth.Dataset, error) {
 		s.crawl.ds = ds
 	})
 	return s.crawl.ds, s.crawl.err
+}
+
+// DatasetNames returns the registry names accepted by DatasetByName, in
+// stable presentation order: the four Table III group data sets followed
+// by the Table II BFS-crawl graph.
+func DatasetNames() []string {
+	return []string{"gplus", "twitter", "livejournal", "orkut", "crawl"}
+}
+
+// ErrUnknownDataset is returned by DatasetByName for names outside
+// DatasetNames.
+var ErrUnknownDataset = errors.New("core: unknown dataset")
+
+// DatasetByName resolves a registry name to the memoized data set,
+// generating it on first use. This is the lookup surface long-lived
+// callers (the serve layer) use to share one Suite across requests.
+func (s *Suite) DatasetByName(name string) (*synth.Dataset, error) {
+	switch name {
+	case "gplus":
+		return s.GPlus()
+	case "twitter":
+		return s.Twitter()
+	case "livejournal":
+		return s.LiveJournal()
+	case "orkut":
+		return s.Orkut()
+	case "crawl":
+		return s.Crawl()
+	}
+	return nil, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
 }
 
 // AllGroupDatasets returns the four Table III data sets in paper order.

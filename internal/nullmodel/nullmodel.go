@@ -8,6 +8,7 @@
 package nullmodel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -407,6 +408,18 @@ func (o EstimatorOptions) withDefaults() EstimatorOptions {
 // scheduling — and bit-identical to the historical graph-materializing
 // implementation (asserted by TestEstimatorMatchesRewireReference).
 func NewEmpiricalEstimator(g *graph.Graph, opts EstimatorOptions) (*Estimator, error) {
+	return NewEmpiricalEstimatorCtx(context.Background(), g, opts)
+}
+
+// NewEmpiricalEstimatorCtx is NewEmpiricalEstimator with cancellation:
+// workers check ctx between samples, so a cancelled context abandons the
+// batch at the next sample boundary (the in-flight sample is the atomic
+// unit, mirroring the experiment-granular semantics of core.RunAllCtx).
+// On cancellation every already-built overlay is returned to the arena
+// and the wrapped ctx error is reported; a completed estimator is
+// bit-identical to an uncancelled one because the per-sample seeds are
+// drawn before any sampling starts.
+func NewEmpiricalEstimatorCtx(ctx context.Context, g *graph.Graph, opts EstimatorOptions) (*Estimator, error) {
 	opts = opts.withDefaults()
 	samples := opts.Samples
 	rng := opts.RNG
@@ -450,6 +463,10 @@ func NewEmpiricalEstimator(g *graph.Graph, opts EstimatorOptions) (*Estimator, e
 	overlays := make([]*graph.Overlay, samples)
 	errs := make([]error, samples)
 	sampleInto := func(i int, scr *sampleScratch) {
+		if err := ctx.Err(); err != nil {
+			errs[i] = fmt.Errorf("sampling cancelled: %w", err)
+			return
+		}
 		scr.rw.resetFrom(directed, n, template)
 		attempts, accepted := scr.rw.mix(opts.SwapsPerEdge, rand.New(rand.NewSource(seeds[i])))
 		mAttempts.Add(int64(attempts))

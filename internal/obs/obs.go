@@ -158,6 +158,60 @@ type TimerStat struct {
 	Buckets map[int]int64 `json:"buckets,omitempty"`
 }
 
+// QuantileNs estimates the q-quantile (0 <= q <= 1) of the observed
+// durations in nanoseconds from the power-of-two histogram buckets,
+// interpolating linearly within the bucket that crosses the target rank.
+// The estimate is within one bucket (a factor of two) of the true value,
+// which is the resolution the histogram stores; exported so metric
+// consumers (the /metrics endpoint, circleload's SLO report) can derive
+// p50/p95/p99 from a snapshot without raw samples. A stat with no
+// observations returns 0.
+func (s TimerStat) QuantileNs(q float64) float64 {
+	if s.Count <= 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	idxs := make([]int, 0, len(s.Buckets))
+	//lint:ignore maporder bucket indices are sorted immediately below
+	for i := range s.Buckets {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	var seen float64
+	for _, i := range idxs {
+		n := float64(s.Buckets[i])
+		if seen+n < rank {
+			seen += n
+			continue
+		}
+		// Bucket i spans [2^(i-1), 2^i) ns (bucket 0 holds exact zeros).
+		lo, hi := 0.0, 1.0
+		if i > 0 {
+			lo = float64(int64(1) << (i - 1))
+			hi = lo * 2
+		}
+		frac := 0.0
+		if n > 0 {
+			frac = (rank - seen) / n
+		}
+		est := lo + frac*(hi-lo)
+		// The top bucket's upper bound can overshoot the largest value
+		// actually observed; never report past the recorded maximum.
+		if max := float64(s.MaxNs); est > max {
+			est = max
+		}
+		return est
+	}
+	// rank == Count exactly: the maximum observation.
+	return float64(s.MaxNs)
+}
+
 // stat materializes the timer's current state.
 func (t *Timer) stat() TimerStat {
 	s := TimerStat{

@@ -202,3 +202,41 @@ func TestReadManifestRejectsGarbage(t *testing.T) {
 		}
 	}
 }
+
+// TestTimerQuantiles checks the histogram-derived quantiles: exact-rank
+// behavior on known observations, bounds clamping, the empty stat, and
+// that no estimate ever exceeds the recorded maximum.
+func TestTimerQuantiles(t *testing.T) {
+	var empty TimerStat
+	if got := empty.QuantileNs(0.5); got != 0 {
+		t.Errorf("empty stat quantile = %v, want 0", got)
+	}
+
+	r := NewRecorder()
+	tm := r.Timer("t")
+	// 90 observations in the ~1µs bucket, 10 in the ~1ms bucket.
+	for i := 0; i < 90; i++ {
+		tm.Observe(time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		tm.Observe(time.Millisecond)
+	}
+	st := r.Snapshot().Timers["t"]
+
+	p50 := st.QuantileNs(0.50)
+	if p50 < 512 || p50 >= 1024 {
+		t.Errorf("p50 = %v ns, want within the 1µs bucket [512, 1024)", p50)
+	}
+	p99 := st.QuantileNs(0.99)
+	if p99 < float64(512*time.Microsecond) || p99 > float64(st.MaxNs) {
+		t.Errorf("p99 = %v ns, want within the 1ms bucket and <= max %d", p99, st.MaxNs)
+	}
+	for _, q := range []float64{-1, 0, 0.5, 0.999, 1, 2} {
+		if got := st.QuantileNs(q); got < 0 || got > float64(st.MaxNs) {
+			t.Errorf("quantile(%v) = %v outside [0, max %d]", q, got, st.MaxNs)
+		}
+	}
+	if got := st.QuantileNs(1); got != float64(st.MaxNs) {
+		t.Errorf("quantile(1) = %v, want max %d", got, st.MaxNs)
+	}
+}

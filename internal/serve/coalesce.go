@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// call is one unit of pooled work: the single execution backing every
+// coalesced request for the same key. The leader creates it and enqueues
+// it; followers join and wait on done. The body/status pair is written
+// exactly once (by the worker, or by reject on queue overflow) before
+// done is closed, so waiters read it without further synchronization.
+type call struct {
+	key string
+
+	// ctx bounds the execution: it carries the server's per-request
+	// deadline and is cancelled early when every waiter abandons the
+	// request, wiring client departures into the estimator/score
+	// cancellation paths.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// run executes the work. It must honor ctx and return the response
+	// body and HTTP status.
+	run func(ctx context.Context) ([]byte, int)
+
+	done   chan struct{}
+	body   []byte
+	status int
+
+	waiters atomic.Int32
+}
+
+// finish publishes the result and releases every waiter. Must be called
+// exactly once.
+func (c *call) finish(body []byte, status int) {
+	c.body = body
+	c.status = status
+	close(c.done)
+	c.cancel()
+}
+
+// leave drops one waiter; when the last waiter departs the call's
+// context is cancelled so abandoned work stops at its next cancellation
+// point instead of running to completion for nobody.
+func (c *call) leave() {
+	if c.waiters.Add(-1) == 0 {
+		c.cancel()
+	}
+}
+
+// flightGroup deduplicates in-flight work by key, in the spirit of
+// x/sync singleflight but stdlib-only and tied to the call type: the
+// first request for a key becomes the leader and executes, concurrent
+// requests for the same key join the leader's call and receive the
+// identical response bytes.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*call
+}
+
+// join returns the in-flight call for key, registering the call built by
+// mk as leader when there is none. The returned bool reports leadership.
+// Either way the caller is accounted as one waiter.
+func (g *flightGroup) join(key string, mk func() *call) (*call, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.calls[key]; ok {
+		c.waiters.Add(1)
+		return c, false
+	}
+	if g.calls == nil {
+		g.calls = make(map[string]*call)
+	}
+	c := mk()
+	c.waiters.Add(1)
+	g.calls[key] = c
+	return c, true
+}
+
+// forget removes the key's call so the next request starts fresh. Called
+// after the call finished; requests that joined before forget still read
+// the finished result.
+func (g *flightGroup) forget(key string) {
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+}

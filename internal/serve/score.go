@@ -1,0 +1,378 @@
+package serve
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"sort"
+	"strings"
+
+	"gpluscircles/internal/graph"
+	"gpluscircles/internal/nullmodel"
+	"gpluscircles/internal/score"
+	"gpluscircles/internal/synth"
+)
+
+// ScoreRequest is the POST /v1/score body: score one vertex set — a
+// named circle/community of the data set, or an arbitrary node set given
+// by external vertex IDs — under the paper's scoring functions.
+type ScoreRequest struct {
+	// Dataset is a registry name from GET /v1/datasets (e.g. "gplus").
+	Dataset string `json:"dataset"`
+	// Group names an existing circle/community of the data set.
+	// Exactly one of Group and Members must be set.
+	Group string `json:"group,omitempty"`
+	// Members is an arbitrary node set as external vertex IDs.
+	Members []int64 `json:"members,omitempty"`
+	// Funcs selects scoring functions by registry name; empty selects
+	// the paper's four (avgdeg, ratiocut, conductance, modularity).
+	Funcs []string `json:"funcs,omitempty"`
+	// NullSamples > 0 switches Modularity's E(m_C) from the analytic
+	// Chung-Lu expectation to the empirical Viger-Latapy estimator with
+	// that many degree-preserving samples.
+	NullSamples int `json:"null_samples,omitempty"`
+	// Seed drives the empirical null model; 0 selects 1. Part of the
+	// coalescing key, so equal seeds provably share one execution.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// ScoreResponse is the /v1/score result. For a fixed suite (scale,
+// seed), the response bytes are a pure function of the request.
+type ScoreResponse struct {
+	Dataset string `json:"dataset"`
+	Group   string `json:"group,omitempty"`
+	// N, InternalEdges and BoundaryEdges are n_C, m_C and c_C of the
+	// paper's Table I nomenclature.
+	N              int   `json:"n"`
+	InternalEdges  int64 `json:"internal_edges"`
+	BoundaryEdges  int64 `json:"boundary_edges"`
+	// Null reports which E(m_C) fed Modularity: "analytic" or
+	// "empirical".
+	Null        string             `json:"null"`
+	NullSamples int                `json:"null_samples,omitempty"`
+	Seed        int64              `json:"seed,omitempty"`
+	Scores      map[string]float64 `json:"scores"`
+}
+
+// CharacterizeResponse is the GET /v1/characterize/{dataset} result:
+// the Table II scalar profile of the graph, served from the suite's
+// memoized CharacterizeGraph run.
+type CharacterizeResponse struct {
+	Dataset       string  `json:"dataset"`
+	Display       string  `json:"display"`
+	Vertices      int     `json:"vertices"`
+	Edges         int64   `json:"edges"`
+	Directed      bool    `json:"directed"`
+	Diameter      int     `json:"diameter"`
+	ASP           float64 `json:"asp"`
+	MeanDegree    float64 `json:"mean_degree"`
+	MeanInDegree  float64 `json:"mean_in_degree"`
+	MeanOutDegree float64 `json:"mean_out_degree"`
+	Reciprocity   float64 `json:"reciprocity"`
+	Assortativity float64 `json:"assortativity"`
+	Degeneracy    int     `json:"degeneracy"`
+	DegreeGini    float64 `json:"degree_gini"`
+	// DegreeFitBest is the winning family of the CSN degree-fit
+	// comparison ("power-law", "log-normal", "exponential").
+	DegreeFitBest  string  `json:"degree_fit_best,omitempty"`
+	ClusteringMean float64 `json:"clustering_mean"`
+	Groups         int     `json:"groups"`
+}
+
+// httpErr pairs a client-facing message with its status code.
+type httpErr struct {
+	status int
+	msg    string
+}
+
+func (e *httpErr) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *httpErr {
+	return &httpErr{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// scoreJob is a validated, resolved score request ready for the pool.
+type scoreJob struct {
+	req     ScoreRequest
+	ds      *synth.Dataset
+	members []graph.VID // sorted, deduplicated dense indices
+	funcs   []score.Func
+	key     string
+}
+
+// handleScore validates the request in the handler goroutine (cheap, no
+// pool slot needed) and funnels the execution through dispatch.
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	s.mRequests.Inc()
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "draining"})
+		return
+	}
+	job, herr := s.resolveScore(r)
+	if herr != nil {
+		writeJSON(w, herr.status, errorResponse{Error: herr.msg})
+		return
+	}
+	s.dispatch(w, r, job.key, func() func(ctx context.Context) ([]byte, int) {
+		return func(ctx context.Context) ([]byte, int) {
+			return s.runScore(ctx, job)
+		}
+	})
+}
+
+// resolveScore decodes and validates the request body and resolves
+// every name (dataset, group, members, functions) against the suite.
+func (s *Server) resolveScore(r *http.Request) (*scoreJob, *httpErr) {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	var req ScoreRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, badRequest("invalid request body: %v", err)
+	}
+	if req.Dataset == "" {
+		return nil, badRequest("dataset is required")
+	}
+	if (req.Group == "") == (len(req.Members) == 0) {
+		return nil, badRequest("exactly one of group and members must be set")
+	}
+	if req.NullSamples < 0 {
+		return nil, badRequest("null_samples must be >= 0")
+	}
+	if req.NullSamples > s.opts.MaxNullSamples {
+		return nil, badRequest("null_samples %d exceeds the limit %d", req.NullSamples, s.opts.MaxNullSamples)
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	if req.NullSamples == 0 {
+		req.Seed = 0 // seed is meaningless without the empirical null; normalize for coalescing
+	}
+
+	ds, status, err := s.suiteDataset(req.Dataset)
+	if err != nil {
+		return nil, &httpErr{status: status, msg: err.Error()}
+	}
+
+	var members []graph.VID
+	if req.Group != "" {
+		shared, ok := s.groupMembers(req.Dataset, ds, req.Group)
+		if !ok {
+			return nil, &httpErr{status: http.StatusNotFound,
+				msg: fmt.Sprintf("group %q: not in dataset %s", req.Group, req.Dataset)}
+		}
+		// Clone: the index hands out the data set's own membership slice
+		// and canonicalMembers sorts in place; concurrent requests for
+		// one group must never mutate the shared ground truth.
+		members = append([]graph.VID(nil), shared...)
+	} else {
+		members = make([]graph.VID, 0, len(req.Members))
+		for _, id := range req.Members {
+			v, ok := ds.Graph.Lookup(id)
+			if !ok {
+				return nil, badRequest("member %d: not in dataset %s", id, req.Dataset)
+			}
+			members = append(members, v)
+		}
+	}
+	members = canonicalMembers(members)
+	if len(members) == 0 {
+		return nil, badRequest("empty vertex set")
+	}
+
+	if len(req.Funcs) == 0 {
+		req.Funcs = []string{"avgdeg", "ratiocut", "conductance", "modularity"}
+	}
+	fns, err := score.ByName(req.Funcs...)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+
+	return &scoreJob{
+		req:     req,
+		ds:      ds,
+		members: members,
+		funcs:   fns,
+		key:     scoreKey(&req, members),
+	}, nil
+}
+
+// canonicalMembers sorts and deduplicates the dense vertex set so
+// requests naming the same set in any order share one coalescing key.
+func canonicalMembers(members []graph.VID) []graph.VID {
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	w := 0
+	for i, v := range members {
+		if i == 0 || v != members[w-1] {
+			members[w] = v
+			w++
+		}
+	}
+	return members[:w]
+}
+
+// scoreKey derives the coalescing key: dataset + group + canonical set
+// hash + functions + null-model parameters. Two requests with equal keys
+// are guaranteed byte-identical responses, which is what makes answering
+// both from one execution sound.
+func scoreKey(req *ScoreRequest, members []graph.VID) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	writeField := func(s string) {
+		_, _ = h.Write([]byte(s))
+		_, _ = h.Write([]byte{0})
+	}
+	writeField(req.Dataset)
+	writeField(req.Group)
+	for _, v := range members {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		_, _ = h.Write(buf[:])
+	}
+	writeField(strings.Join(req.Funcs, ","))
+	binary.LittleEndian.PutUint64(buf[:], uint64(req.NullSamples))
+	_, _ = h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(req.Seed))
+	_, _ = h.Write(buf[:])
+	return fmt.Sprintf("score/%016x/%s/%d", h.Sum64(), req.Dataset, len(members))
+}
+
+// groupMembers resolves a group name within a data set through a lazily
+// built per-dataset index (linear scans would be O(groups) per request).
+func (s *Server) groupMembers(name string, ds *synth.Dataset, group string) ([]graph.VID, bool) {
+	s.groupsMu.Lock()
+	defer s.groupsMu.Unlock()
+	if s.groups == nil {
+		s.groups = make(map[string]map[string][]graph.VID)
+	}
+	idx, ok := s.groups[name]
+	if !ok {
+		idx = make(map[string][]graph.VID, len(ds.Groups))
+		for _, grp := range ds.Groups {
+			idx[grp.Name] = grp.Members
+		}
+		s.groups[name] = idx
+	}
+	members, ok := idx[group]
+	return members, ok
+}
+
+// runScore executes one resolved score job on a pool worker. ctx is the
+// call's deadline/cancellation context: it is checked up front and
+// threaded into the empirical estimator, whose workers abandon sampling
+// at the next sample boundary when the last waiter departs or the
+// deadline passes.
+func (s *Server) runScore(ctx context.Context, job *scoreJob) ([]byte, int) {
+	if err := ctx.Err(); err != nil {
+		return errorBody(fmt.Sprintf("cancelled before scoring: %v", err)), http.StatusServiceUnavailable
+	}
+	g := job.ds.Graph
+	sctx := s.suite.ScoreContext(g)
+	resp := ScoreResponse{
+		Dataset: job.req.Dataset,
+		Group:   job.req.Group,
+		Null:    "analytic",
+	}
+	if job.req.NullSamples > 0 {
+		est, err := nullmodel.NewEmpiricalEstimatorCtx(ctx, g, nullmodel.EstimatorOptions{
+			Samples:  job.req.NullSamples,
+			Seed:     job.req.Seed,
+			Arena:    s.suite.NullArena(g),
+			Recorder: s.rec,
+		})
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return errorBody(fmt.Sprintf("null-model sampling cancelled: %v", err)), http.StatusServiceUnavailable
+			}
+			return errorBody(fmt.Sprintf("null-model sampling: %v", err)), http.StatusInternalServerError
+		}
+		defer est.Close()
+		// A private context: the shared analytic one must never be
+		// mutated (its NullExpectation is read concurrently).
+		nctx := score.NewContext(g)
+		nctx.NullExpectation = est.Func()
+		sctx = nctx
+		resp.Null = "empirical"
+		resp.NullSamples = job.req.NullSamples
+		resp.Seed = job.req.Seed
+	}
+
+	set := graph.SetOf(g, job.members)
+	cut := graph.Cut(g, set)
+	resp.N = cut.N
+	resp.InternalEdges = cut.Internal
+	resp.BoundaryEdges = cut.Boundary
+	resp.Scores = make(map[string]float64, len(job.funcs))
+	for _, f := range job.funcs {
+		resp.Scores[f.Name] = f.Eval(sctx, set, cut)
+	}
+
+	body, err := json.Marshal(resp)
+	if err != nil {
+		return errorBody(fmt.Sprintf("encode response: %v", err)), http.StatusInternalServerError
+	}
+	return body, http.StatusOK
+}
+
+// handleCharacterize serves the memoized Table II profile of a data set
+// through the pool: the first request pays the BFS sweeps and clustering
+// samples (coalesced across a herd), later ones hit the suite cache.
+func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
+	s.mRequests.Inc()
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "draining"})
+		return
+	}
+	name := r.PathValue("dataset")
+	ds, status, err := s.suiteDataset(name)
+	if err != nil {
+		writeJSON(w, status, errorResponse{Error: err.Error()})
+		return
+	}
+	s.dispatch(w, r, "characterize/"+name, func() func(ctx context.Context) ([]byte, int) {
+		return func(ctx context.Context) ([]byte, int) {
+			return s.runCharacterize(ctx, name, ds)
+		}
+	})
+}
+
+// runCharacterize renders the profile DTO on a pool worker. The profile
+// itself is memoized by the suite; cancellation is honored up front
+// (the profile computation is the atomic unit, like an experiment).
+func (s *Server) runCharacterize(ctx context.Context, name string, ds *synth.Dataset) ([]byte, int) {
+	if err := ctx.Err(); err != nil {
+		return errorBody(fmt.Sprintf("cancelled before characterization: %v", err)), http.StatusServiceUnavailable
+	}
+	p, err := s.suite.Profile(ds)
+	if err != nil {
+		return errorBody(fmt.Sprintf("characterize %s: %v", name, err)), http.StatusInternalServerError
+	}
+	resp := CharacterizeResponse{
+		Dataset:        name,
+		Display:        p.Name,
+		Vertices:       p.Vertices,
+		Edges:          p.Edges,
+		Directed:       p.Directed,
+		Diameter:       p.Diameter,
+		ASP:            p.ASP,
+		MeanDegree:     p.MeanDegree,
+		MeanInDegree:   p.MeanInDegree,
+		MeanOutDegree:  p.MeanOutDegree,
+		Reciprocity:    p.Reciprocity,
+		Assortativity:  p.Assortativity,
+		Degeneracy:     p.Degeneracy,
+		DegreeGini:     p.DegreeGini,
+		ClusteringMean: p.Clustering.Mean,
+		Groups:         len(ds.Groups),
+	}
+	if p.DegreeFit != nil {
+		resp.DegreeFitBest = p.DegreeFit.Best
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		return errorBody(fmt.Sprintf("encode response: %v", err)), http.StatusInternalServerError
+	}
+	return body, http.StatusOK
+}

@@ -1,0 +1,463 @@
+// Package serve turns the reproduction into a long-lived analysis
+// service: it loads the synthetic data sets once into a shared
+// core.Suite and answers per-group community-scoring queries over HTTP,
+// the same request/response shape as an inference server.
+//
+// Production shape is the point of the package:
+//
+//   - A bounded worker pool executes the heavy work (scoring, null-model
+//     sampling, graph characterization). The queue in front of it is the
+//     explicit backpressure surface: when it is full the service sheds
+//     load with 429 + Retry-After instead of accepting unbounded work.
+//   - Identical in-flight requests are coalesced singleflight-style,
+//     keyed by dataset + canonical set hash + scoring functions +
+//     null-model parameters, so a thundering herd of the same query
+//     costs one execution. Coalesced hits are counted in /metrics
+//     (serve.coalesced) and marked with an X-Coalesced response header;
+//     response bodies are byte-identical across the herd.
+//   - Every queued call carries a context with the server's per-request
+//     deadline; the deadline covers queue wait, and cancellation (client
+//     gone, server draining) propagates into the null-model estimator's
+//     sample-boundary checks (nullmodel.NewEmpiricalEstimatorCtx).
+//   - Shutdown is a graceful drain: stop accepting, finish in-flight and
+//     queued work, join the workers. The owning binary then flushes a
+//     final obs manifest.
+//
+// Endpoints: POST /v1/score, GET /v1/characterize/{dataset},
+// GET /v1/datasets, GET /healthz, GET /metrics.
+//
+// Determinism note: responses are pure functions of the request and the
+// suite's (scale, seed) — scores never depend on worker scheduling,
+// coalescing, or instrumentation, which is what makes coalescing sound.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gpluscircles/internal/core"
+	"gpluscircles/internal/graph"
+	"gpluscircles/internal/obs"
+	"gpluscircles/internal/synth"
+)
+
+// Options configures a Server, options-first like core.SuiteOptions:
+// zero values select the documented defaults.
+type Options struct {
+	// Suite is the shared, memoized experiment suite the service scores
+	// against. Required; the suite's lazy caches make concurrent request
+	// handling safe and its seed makes responses deterministic.
+	Suite *core.Suite
+	// Workers bounds the execution pool; <= 0 selects GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the number of accepted-but-unstarted calls;
+	// <= 0 selects 64. A full queue is answered with 429 + Retry-After.
+	QueueDepth int
+	// RequestTimeout bounds one call from enqueue to completion
+	// (queue wait included); <= 0 selects 30s.
+	RequestTimeout time.Duration
+	// DrainTimeout bounds the graceful-shutdown drain; <= 0 selects 10s.
+	DrainTimeout time.Duration
+	// RetryAfterSeconds is advertised in the Retry-After header of 429
+	// responses; <= 0 selects 1.
+	RetryAfterSeconds int
+	// MaxNullSamples caps the per-request null_samples parameter so one
+	// request cannot monopolize the pool; <= 0 selects 128.
+	MaxNullSamples int
+	// Recorder receives the service metrics. Nil creates a private
+	// recorder: unlike the batch binaries the service always records,
+	// because /metrics is part of its API surface.
+	Recorder *obs.Recorder
+
+	// workerHook, when set (tests only), runs in the worker goroutine
+	// after a call is dequeued and before it executes — the test lever
+	// for holding the pool busy deterministically.
+	workerHook func(c *call)
+}
+
+// withDefaults resolves zero values to the documented defaults.
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 30 * time.Second
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 10 * time.Second
+	}
+	if o.RetryAfterSeconds <= 0 {
+		o.RetryAfterSeconds = 1
+	}
+	if o.MaxNullSamples <= 0 {
+		o.MaxNullSamples = 128
+	}
+	if o.Recorder == nil {
+		o.Recorder = obs.NewRecorder()
+	}
+	return o
+}
+
+// Server is the analysis service. Create with NewServer, start the pool
+// with Start (ListenAndServe does both), and stop with Shutdown. A
+// Server is safe for concurrent use by the http stack.
+type Server struct {
+	opts  Options
+	suite *core.Suite
+	rec   *obs.Recorder
+	mux   *http.ServeMux
+
+	queue   chan *call
+	qmu     sync.Mutex // guards qclosed and the send-vs-close race
+	qclosed bool
+	wg      sync.WaitGroup
+
+	started  atomic.Bool
+	draining atomic.Bool
+
+	flight flightGroup
+
+	groupsMu sync.Mutex
+	groups   map[string]map[string][]graph.VID // dataset -> group -> members
+
+	mRequests  *obs.Counter
+	mScored    *obs.Counter
+	mCoalesced *obs.Counter
+	mRejected  *obs.Counter
+	mErrors    *obs.Counter
+	gQueue     *obs.Gauge
+	tRequest   *obs.Timer
+	tScore     *obs.Timer
+}
+
+// NewServer builds the service around a shared suite. Call Start (or
+// ListenAndServe) before serving traffic.
+func NewServer(opts Options) (*Server, error) {
+	if opts.Suite == nil {
+		return nil, errors.New("serve: Options.Suite is required")
+	}
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:  opts,
+		suite: opts.Suite,
+		rec:   opts.Recorder,
+		queue: make(chan *call, opts.QueueDepth),
+
+		mRequests:  opts.Recorder.Counter("serve.requests"),
+		mScored:    opts.Recorder.Counter("serve.scored"),
+		mCoalesced: opts.Recorder.Counter("serve.coalesced"),
+		mRejected:  opts.Recorder.Counter("serve.rejected"),
+		mErrors:    opts.Recorder.Counter("serve.errors"),
+		gQueue:     opts.Recorder.Gauge("serve.queue.depth"),
+		tRequest:   opts.Recorder.Timer("serve/request"),
+		tScore:     opts.Recorder.Timer("serve/score"),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/score", s.handleScore)
+	mux.HandleFunc("GET /v1/characterize/{dataset}", s.handleCharacterize)
+	mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler, for embedding under
+// httptest or an outer mux.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Recorder returns the recorder backing /metrics, so the owning binary
+// can flush a final manifest on exit.
+func (s *Server) Recorder() *obs.Recorder { return s.rec }
+
+// Draining reports whether the server has begun its shutdown drain.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Start launches the worker pool. Idempotent; must be called before the
+// handler can answer pooled endpoints.
+func (s *Server) Start() {
+	if !s.started.CompareAndSwap(false, true) {
+		return
+	}
+	for i := 0; i < s.opts.Workers; i++ {
+		s.wg.Add(1)
+		//lint:ignore goroutineleak workers are joined by Shutdown via wg.Wait; the pool outlives Start by design
+		go s.worker()
+	}
+}
+
+// worker drains the queue until it is closed, executing one call at a
+// time and publishing its result to every coalesced waiter.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for c := range s.queue {
+		s.gQueue.Add(-1)
+		if hook := s.opts.workerHook; hook != nil {
+			hook(c)
+		}
+		start := obs.Now()
+		body, status := c.run(c.ctx)
+		s.tScore.Observe(obs.Since(start))
+		if status >= 500 {
+			s.mErrors.Inc()
+		}
+		c.finish(body, status)
+		s.flight.forget(c.key)
+	}
+}
+
+// enqueue offers the call to the pool without blocking. It reports false
+// when the queue is full or already closed — the backpressure signal the
+// handlers translate into 429/503.
+func (s *Server) enqueue(c *call) bool {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	if s.qclosed {
+		return false
+	}
+	select {
+	case s.queue <- c:
+		s.gQueue.Add(1)
+		return true
+	default:
+		return false
+	}
+}
+
+// Shutdown drains the service: no new work is accepted, queued and
+// in-flight calls finish, and the workers are joined. The context bounds
+// the wait. Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.qmu.Lock()
+	if !s.qclosed {
+		s.qclosed = true
+		close(s.queue)
+	}
+	s.qmu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain: %w", ctx.Err())
+	}
+}
+
+// ListenAndServe binds addr and serves until ctx is cancelled (the
+// owning binary typically wires SIGTERM/SIGINT into ctx via
+// signal.NotifyContext), then drains gracefully: the listener stops
+// accepting, in-flight requests finish within DrainTimeout, and the
+// worker pool is joined. A clean drain returns nil.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("serve: listen %s: %w", addr, err)
+	}
+	return s.ServeListener(ctx, ln)
+}
+
+// ServeListener is ListenAndServe over an existing listener (tests use
+// it with an ephemeral port). It owns the listener.
+func (s *Server) ServeListener(ctx context.Context, ln net.Listener) error {
+	s.Start()
+	hs := &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	var serveErr error
+	select {
+	case serveErr = <-errc:
+		// Listener failed outright; fall through to drain the pool.
+	case <-ctx.Done():
+		// Flip the drain flag before the HTTP-layer shutdown so new
+		// requests are shed with 503 immediately while in-flight ones
+		// (already past the check) run to completion.
+		s.draining.Store(true)
+		shCtx, cancel := context.WithTimeout(context.Background(), s.opts.DrainTimeout)
+		serveErr = hs.Shutdown(shCtx)
+		cancel()
+		<-errc // join the Serve goroutine (http.ErrServerClosed)
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), s.opts.DrainTimeout)
+	defer cancel()
+	if err := s.Shutdown(drainCtx); err != nil && serveErr == nil {
+		serveErr = err
+	}
+	if errors.Is(serveErr, http.ErrServerClosed) {
+		serveErr = nil
+	}
+	return serveErr
+}
+
+// dispatch funnels one request through coalescing, the bounded queue and
+// the wait loop. key identifies the work for coalescing; mkRun builds
+// the executable for the leader. The response (or backpressure error) is
+// written to w.
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, key string, mkRun func() func(ctx context.Context) ([]byte, int)) {
+	start := obs.Now()
+	c, leader := s.flight.join(key, func() *call {
+		ctx, cancel := context.WithTimeout(context.Background(), s.opts.RequestTimeout)
+		return &call{
+			key:    key,
+			ctx:    ctx,
+			cancel: cancel,
+			run:    mkRun(),
+			done:   make(chan struct{}),
+		}
+	})
+	if leader {
+		if !s.enqueue(c) {
+			// Publish the rejection on the call so any follower that
+			// joined between join and forget completes too, then answer
+			// the leader. Queue-full and draining are both shed here.
+			status := http.StatusTooManyRequests
+			if s.draining.Load() {
+				status = http.StatusServiceUnavailable
+			}
+			c.finish(errorBody("queue full"), status)
+			s.flight.forget(key)
+			s.mRejected.Inc()
+		}
+	} else {
+		s.mCoalesced.Inc()
+		w.Header().Set("X-Coalesced", "true")
+	}
+
+	select {
+	case <-c.done:
+		s.tRequest.Observe(obs.Since(start))
+		if c.status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", strconv.Itoa(s.opts.RetryAfterSeconds))
+		}
+		if c.status == http.StatusOK {
+			s.mScored.Inc()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(c.status)
+		_, _ = w.Write(c.body)
+	case <-r.Context().Done():
+		// Client gone: abandon the wait; the last departing waiter
+		// cancels the shared call so the pool stops wasting work.
+		c.leave()
+		s.tRequest.Observe(obs.Since(start))
+	}
+}
+
+// handleHealthz reports liveness and the drain state.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": status})
+}
+
+// metricsResponse is the /metrics payload: the recorder snapshot plus
+// the server's uptime.
+type metricsResponse struct {
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Metrics       obs.Snapshot `json:"metrics"`
+}
+
+// handleMetrics renders the recorder snapshot as JSON, expvar-style.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, metricsResponse{
+		UptimeSeconds: obs.Since(s.rec.Start()).Seconds(),
+		Metrics:       s.rec.Snapshot(),
+	})
+}
+
+// DatasetInfo is one /v1/datasets inventory entry.
+type DatasetInfo struct {
+	// Name is the registry name used in score/characterize requests.
+	Name string `json:"name"`
+	// Display is the data set's report name (e.g. "Google+").
+	Display  string   `json:"display"`
+	Vertices int      `json:"vertices"`
+	Edges    int64    `json:"edges"`
+	Directed bool     `json:"directed"`
+	Kind     string   `json:"kind"`
+	Groups   []string `json:"groups"`
+}
+
+// handleDatasets inventories the suite's data sets (generating them on
+// first touch — circled pre-warms at startup so steady-state calls are
+// cheap). circleload uses this to build its request mix.
+func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
+	s.mRequests.Inc()
+	out := make([]DatasetInfo, 0, len(core.DatasetNames()))
+	for _, name := range core.DatasetNames() {
+		ds, err := s.suite.DatasetByName(name)
+		if err != nil {
+			s.mErrors.Inc()
+			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+			return
+		}
+		info := DatasetInfo{
+			Name:     name,
+			Display:  ds.Name,
+			Vertices: ds.Graph.NumVertices(),
+			Edges:    ds.Graph.NumEdges(),
+			Directed: ds.Graph.Directed(),
+			Kind:     ds.Kind.String(),
+			Groups:   make([]string, 0, len(ds.Groups)),
+		}
+		for _, grp := range ds.Groups {
+			info.Groups = append(info.Groups, grp.Name)
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// errorResponse is the JSON error envelope of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// errorBody marshals the error envelope (never fails for a plain string).
+func errorBody(msg string) []byte {
+	b, _ := json.Marshal(errorResponse{Error: msg})
+	return b
+}
+
+// writeJSON writes a JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// suiteDataset exists so score.go can share the one lookup-and-classify
+// path for dataset resolution errors.
+func (s *Server) suiteDataset(name string) (*synth.Dataset, int, error) {
+	ds, err := s.suite.DatasetByName(name)
+	if err != nil {
+		if errors.Is(err, core.ErrUnknownDataset) {
+			return nil, http.StatusNotFound, err
+		}
+		return nil, http.StatusInternalServerError, err
+	}
+	return ds, 0, nil
+}

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Load-test smoke for the serving layer: boot circled on an ephemeral
+# port, replay 100 concurrent clients with circleload, then SIGTERM the
+# service and verify the graceful drain.
+#
+# The smoke asserts the serving SLO end to end:
+#   - circleload exits non-zero on any 5xx or transport error, so a
+#     passing run means the service shed overload with 429s only;
+#   - circled must exit 0 on SIGTERM (clean drain, in-flight work done);
+#   - the final run manifest must parse back via `circlebench compare`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+dir="${LOADSMOKE_DIR:-$(mktemp -d)}"
+mkdir -p "$dir"
+go build -o "$dir/circled" ./cmd/circled
+go build -o "$dir/circleload" ./cmd/circleload
+
+"$dir/circled" -addr 127.0.0.1:0 -scale 0.15 -queue 32 \
+  -manifest "$dir/circled.manifest.jsonl" >"$dir/circled.log" 2>&1 &
+pid=$!
+trap 'kill "$pid" 2>/dev/null || true' EXIT
+
+# The service prints its resolved ephemeral address once warmed.
+addr=""
+for _ in $(seq 1 120); do
+  addr=$(sed -n 's/^circled: listening on \([^ ]*\).*/\1/p' "$dir/circled.log")
+  if [ -n "$addr" ] && curl -sf "http://$addr/healthz" >/dev/null 2>&1; then
+    break
+  fi
+  addr=""
+  sleep 0.5
+done
+if [ -z "$addr" ]; then
+  echo "loadsmoke: circled did not come up" >&2
+  cat "$dir/circled.log" >&2
+  exit 1
+fi
+
+"$dir/circleload" -addr "http://$addr" -n 100 -c 100 -dup 0.3
+
+kill -TERM "$pid"
+if ! wait "$pid"; then
+  echo "loadsmoke: circled did not drain cleanly on SIGTERM" >&2
+  cat "$dir/circled.log" >&2
+  exit 1
+fi
+trap - EXIT
+
+go run ./cmd/circlebench compare "$dir/circled.manifest.jsonl" >/dev/null
+echo "loadsmoke: ok (artifacts in $dir)"
