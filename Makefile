@@ -8,7 +8,7 @@ BENCHTIME ?= 1x
 # make profile output directory.
 PROFILE_DIR ?= profile
 
-.PHONY: all build test race vet lint bench profile fuzz cover-serve loadsmoke clean
+.PHONY: all build test race vet lint bench bench-scale scale-smoke profile fuzz cover-serve loadsmoke clean
 
 all: build vet lint test
 
@@ -38,6 +38,25 @@ lint:
 # override BENCHTIME for stabler kernel numbers.
 bench:
 	$(GO) test -run='^$$' -bench='$(BENCH)' -benchmem -benchtime=$(BENCHTIME) -json . | tee $(BENCH_OUT)
+
+# Paper-scale pipeline smoke under the race detector: a small sharded
+# data set through the streaming builder, replay and spill protocols
+# both, plus the builder equivalence/seed-stability suite. Fast enough
+# for CI; the full-size run is bench-scale below.
+scale-smoke:
+	$(GO) test -race -run 'TestStreamBuilder|TestGenerateScale' ./internal/graph/ ./internal/synth/
+	$(GO) run ./cmd/synthgen -dataset scale -scale 0.1 -workers 4 -shards 8 \
+		-spill-dir $${TMPDIR:-/tmp} -out $${TMPDIR:-/tmp}/gpc-scale-smoke -v
+
+# Record the paper-scale pipeline benchmark. By default the data set is
+# floor-sized; GPC_SCALE=full selects the >=3M-vertex / >=50M-edge
+# configuration (minutes of wall clock, hence the raised timeout and
+# -benchtime=1x). The record lands in BENCH_<date>-scale.json for
+# `circlebench compare` against future runs.
+SCALE_BENCH_OUT ?= BENCH_$(DATE)-scale.json
+bench-scale:
+	$(GO) test -run='^$$' -bench='ScalePipeline|LegacyBuilderBuild|StreamBuilder' \
+		-benchmem -benchtime=$(BENCHTIME) -timeout=120m -json . | tee $(SCALE_BENCH_OUT)
 
 # Profile one full circlebench run: CPU profile, heap profile, execution
 # trace, and the JSONL run manifest land in $(PROFILE_DIR). Inspect with

@@ -37,14 +37,20 @@ type testEvent struct {
 var benchLineRE = regexp.MustCompile(
 	`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
+// benchEnvPrefix marks the runner-environment line the benchmark
+// harness (bench_test.go TestMain) emits into the test2json stream, so
+// parallel-speedup numbers stay interpretable across machines.
+const benchEnvPrefix = "benchenv:"
+
 // parseBenchFile reads a BENCH_*.json test2json stream and returns the
-// benchmark results keyed by name. test2json may split one result line
-// across several Output events (the name flushes before the metrics),
-// so output is reassembled into lines before matching.
-func parseBenchFile(path string) (map[string]benchResult, error) {
+// benchmark results keyed by name plus the runner-environment line, if
+// the stream carries one ("" otherwise). test2json may split one result
+// line across several Output events (the name flushes before the
+// metrics), so output is reassembled into lines before matching.
+func parseBenchFile(path string) (map[string]benchResult, string, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	defer f.Close()
 
@@ -58,19 +64,25 @@ func parseBenchFile(path string) (map[string]benchResult, error) {
 		}
 		var ev testEvent
 		if err := json.Unmarshal(line, &ev); err != nil {
-			return nil, fmt.Errorf("%s: not a go test -json stream: %w", path, err)
+			return nil, "", fmt.Errorf("%s: not a go test -json stream: %w", path, err)
 		}
 		if ev.Action == "output" {
 			out.WriteString(ev.Output)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, "", fmt.Errorf("%s: %w", path, err)
 	}
 
+	env := ""
 	results := make(map[string]benchResult)
 	for _, line := range strings.Split(out.String(), "\n") {
-		m := benchLineRE.FindStringSubmatch(strings.TrimSpace(line))
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, benchEnvPrefix); ok && env == "" {
+			env = strings.TrimSpace(rest)
+			continue
+		}
+		m := benchLineRE.FindStringSubmatch(line)
 		if m == nil {
 			continue
 		}
@@ -86,9 +98,9 @@ func parseBenchFile(path string) (map[string]benchResult, error) {
 		results[r.Name] = r
 	}
 	if len(results) == 0 {
-		return nil, fmt.Errorf("%s: no benchmark result lines found", path)
+		return nil, env, fmt.Errorf("%s: no benchmark result lines found", path)
 	}
-	return results, nil
+	return results, env, nil
 }
 
 // deltaPct renders the relative change from old to new as a signed
@@ -106,14 +118,16 @@ func deltaPct(oldV, newV float64) string {
 }
 
 // runCompare diffs two recorded benchmark files and prints per-benchmark
-// ns/op, B/op, and allocs/op deltas. Benchmarks present in only one
-// file are listed after the table.
+// ns/op, B/op, and allocs/op deltas. Benchmarks present in only one file
+// — routine once -scale benchmarks exist on one side only — are listed
+// after the table at the same column width, and a summary footer counts
+// all three classes so a thin intersection is visible at a glance.
 func runCompare(w io.Writer, oldPath, newPath string) error {
-	oldRes, err := parseBenchFile(oldPath)
+	oldRes, oldEnv, err := parseBenchFile(oldPath)
 	if err != nil {
 		return err
 	}
-	newRes, err := parseBenchFile(newPath)
+	newRes, newEnv, err := parseBenchFile(newPath)
 	if err != nil {
 		return err
 	}
@@ -136,14 +150,29 @@ func runCompare(w io.Writer, oldPath, newPath string) error {
 	sort.Strings(newOnly)
 
 	width := len("benchmark")
-	for _, name := range common {
-		if len(name) > width {
-			width = len(name)
+	for _, group := range [][]string{common, oldOnly, newOnly} {
+		for _, name := range group {
+			if len(name) > width {
+				width = len(name)
+			}
 		}
 	}
-	fmt.Fprintf(w, "compare: %s -> %s\n\n", oldPath, newPath)
-	fmt.Fprintf(w, "%-*s  %14s %8s  %14s %8s  %12s %8s\n", width, "benchmark",
-		"ns/op", "delta", "B/op", "delta", "allocs/op", "delta")
+	fmt.Fprintf(w, "compare: %s -> %s\n", oldPath, newPath)
+	switch {
+	case oldEnv != "" && newEnv != "" && oldEnv != newEnv:
+		fmt.Fprintf(w, "old env: %s\nnew env: %s\nwarning: runner environments differ; deltas may reflect hardware, not code\n", oldEnv, newEnv)
+	case oldEnv != "" || newEnv != "":
+		env := oldEnv
+		if env == "" {
+			env = newEnv
+		}
+		fmt.Fprintf(w, "env: %s\n", env)
+	}
+	fmt.Fprintln(w)
+	if len(common) > 0 {
+		fmt.Fprintf(w, "%-*s  %14s %8s  %14s %8s  %12s %8s\n", width, "benchmark",
+			"ns/op", "delta", "B/op", "delta", "allocs/op", "delta")
+	}
 	for _, name := range common {
 		o, n := oldRes[name], newRes[name]
 		fmt.Fprintf(w, "%-*s  %14.0f %s", width, name, n.NsPerOp, deltaPct(o.NsPerOp, n.NsPerOp))
@@ -165,5 +194,7 @@ func runCompare(w io.Writer, oldPath, newPath string) error {
 	for _, name := range newOnly {
 		fmt.Fprintf(w, "%-*s  only in %s\n", width, name, newPath)
 	}
+	fmt.Fprintf(w, "\n%d compared, %d only in %s, %d only in %s\n",
+		len(common), len(oldOnly), oldPath, len(newOnly), newPath)
 	return nil
 }

@@ -27,11 +27,11 @@ func writeBenchFile(t *testing.T, name string, outputs ...string) string {
 
 func TestParseBenchFileReassemblesSplitLines(t *testing.T) {
 	path := writeBenchFile(t, "bench.json",
-		`BenchmarkFoo           \t`,           // name flushed alone, as test2json does
+		`BenchmarkFoo           \t`, // name flushed alone, as test2json does
 		`       2\t 1000 ns/op\t  512 B/op\t    8 allocs/op\n`,
 		`BenchmarkBar \t 4\t 2500.5 ns/op\n`, // no -benchmem columns
 	)
-	res, err := parseBenchFile(path)
+	res, _, err := parseBenchFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +56,7 @@ func TestParseBenchFileRejectsNonJSON(t *testing.T) {
 	if err := os.WriteFile(path, []byte("not json\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := parseBenchFile(path); err == nil {
+	if _, _, err := parseBenchFile(path); err == nil {
 		t.Error("expected an error for a non-JSON file")
 	}
 }
@@ -86,6 +86,76 @@ func TestRunCompareReportsDeltas(t *testing.T) {
 	}
 }
 
+func TestParseBenchFileExtractsEnv(t *testing.T) {
+	path := writeBenchFile(t, "bench.json",
+		`benchenv: cpus=8 gomaxprocs=8 goos=linux goarch=amd64\n`,
+		`BenchmarkFoo \t 1\t 10 ns/op\n`,
+	)
+	res, env, err := parseBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env != "cpus=8 gomaxprocs=8 goos=linux goarch=amd64" {
+		t.Errorf("env parsed as %q", env)
+	}
+	if _, ok := res["BenchmarkFoo"]; !ok {
+		t.Error("benchmark line after benchenv not parsed")
+	}
+}
+
+func TestRunCompareSummaryAndEnv(t *testing.T) {
+	oldPath := writeBenchFile(t, "old.json",
+		`benchenv: cpus=4 gomaxprocs=4\n`,
+		`BenchmarkSame \t 1\t 1000 ns/op\n`,
+		`BenchmarkGone \t 1\t 5 ns/op\n`,
+	)
+	newPath := writeBenchFile(t, "new.json",
+		`benchenv: cpus=16 gomaxprocs=16\n`,
+		`BenchmarkSame \t 1\t 900 ns/op\n`,
+		`BenchmarkNew \t 1\t 7 ns/op\n`,
+		`BenchmarkNew2 \t 1\t 9 ns/op\n`,
+	)
+	var sb strings.Builder
+	if err := runCompare(&sb, oldPath, newPath); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, want := range []string{
+		"old env: cpus=4 gomaxprocs=4",
+		"new env: cpus=16 gomaxprocs=16",
+		"runner environments differ",
+		"1 compared, 1 only in " + oldPath + ", 2 only in " + newPath,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("compare output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunCompareDisjointBenchSets(t *testing.T) {
+	// No shared benchmark at all: the table header must be suppressed
+	// and the footer must make the empty intersection explicit.
+	oldPath := writeBenchFile(t, "old.json", `BenchmarkOnlyOld \t 1\t 5 ns/op\n`)
+	newPath := writeBenchFile(t, "new.json", `BenchmarkOnlyNew \t 1\t 7 ns/op\n`)
+	var sb strings.Builder
+	if err := runCompare(&sb, oldPath, newPath); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	if strings.Contains(got, "ns/op") {
+		t.Errorf("header printed with no common benchmarks:\n%s", got)
+	}
+	for _, want := range []string{
+		"BenchmarkOnlyOld",
+		"BenchmarkOnlyNew",
+		"0 compared, 1 only in " + oldPath + ", 1 only in " + newPath,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("compare output missing %q:\n%s", want, got)
+		}
+	}
+}
+
 func TestRunCompareAgainstRecordedBench(t *testing.T) {
 	// The checked-in baseline must stay parseable: the compare mode's
 	// whole point is diffing against it.
@@ -93,7 +163,7 @@ func TestRunCompareAgainstRecordedBench(t *testing.T) {
 	if _, err := os.Stat(baseline); err != nil {
 		t.Skip("baseline bench file not present")
 	}
-	res, err := parseBenchFile(baseline)
+	res, _, err := parseBenchFile(baseline)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -224,6 +224,8 @@ func runMeta(rec *obs.Recorder, scale float64, seed int64, nullSamples, workers 
 			"scale":        strconv.FormatFloat(scale, 'g', -1, 64),
 			"null-samples": strconv.Itoa(nullSamples),
 			"workers":      strconv.Itoa(workers),
+			"numcpu":       strconv.Itoa(runtime.NumCPU()),
+			"gomaxprocs":   strconv.Itoa(runtime.GOMAXPROCS(0)),
 		},
 	}
 	if experiment != "" {

@@ -7,6 +7,12 @@
 //	synthgen [-scale 1.0] [-seed 1] [-out dir] [-dataset name] [-v]
 //
 // Datasets: gplus, twitter, livejournal, orkut, crawl, all (default).
+//
+// The additional "scale" dataset (not part of "all") is the paper-scale
+// community set built through the streaming pipeline; it honors
+// -vertices, -shards, -spill-dir and -workers, e.g.
+//
+//	synthgen -dataset scale -vertices 3000000 -spill-dir /tmp -v -out data
 package main
 
 import (
@@ -15,10 +21,12 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"gpluscircles/internal/cliflag"
 	"gpluscircles/internal/core"
 	"gpluscircles/internal/dataset"
+	"gpluscircles/internal/obs"
 	"gpluscircles/internal/synth"
 )
 
@@ -31,12 +39,16 @@ func main() {
 
 func run() error {
 	var (
-		scale   = flag.Float64("scale", 1.0, "data-set scale factor")
-		seed    = cliflag.Seed(flag.CommandLine)
-		verbose = cliflag.Verbose(flag.CommandLine)
-		out     = flag.String("out", ".", "output directory")
-		which   = flag.String("dataset", "all", "gplus|twitter|livejournal|orkut|crawl|all")
-		binary  = flag.Bool("binary", false, "additionally write binary CSR graphs (.bin) for fast reload")
+		scale    = flag.Float64("scale", 1.0, "data-set scale factor")
+		seed     = cliflag.Seed(flag.CommandLine)
+		verbose  = cliflag.Verbose(flag.CommandLine)
+		workers  = cliflag.Workers(flag.CommandLine)
+		shards   = cliflag.Shards(flag.CommandLine)
+		spillDir = cliflag.SpillDir(flag.CommandLine)
+		vertices = cliflag.Vertices(flag.CommandLine)
+		out      = flag.String("out", ".", "output directory")
+		which    = flag.String("dataset", "all", "gplus|twitter|livejournal|orkut|crawl|scale|all")
+		binary   = flag.Bool("binary", false, "additionally write binary CSR graphs (.bin) for fast reload")
 	)
 	flag.Parse()
 
@@ -44,6 +56,14 @@ func run() error {
 		return fmt.Errorf("create output dir: %w", err)
 	}
 	suite := core.NewSuite(core.SuiteOptions{Scale: *scale, Seed: *seed})
+
+	if *which == "scale" {
+		return runScale(scaleRun{
+			scale: *scale, seed: *seed, verbose: *verbose,
+			workers: *workers, shards: *shards, spillDir: *spillDir,
+			vertices: *vertices, out: *out, binary: *binary,
+		})
+	}
 
 	generators := map[string]func() (*synth.Dataset, error){
 		"gplus":       suite.GPlus,
@@ -88,6 +108,91 @@ func run() error {
 			}
 			fmt.Printf("%s: wrote %s (binary CSR)\n", ds.Name, binPath)
 		}
+	}
+	return nil
+}
+
+// scaleRun carries the flag values of a -dataset scale invocation.
+type scaleRun struct {
+	scale           float64
+	seed            int64
+	verbose         bool
+	workers, shards int
+	spillDir        string
+	vertices        int64
+	out             string
+	binary          bool
+}
+
+// runScale generates the paper-scale community data set through the
+// streaming pipeline and writes it in the same SNAP formats as the
+// registry data sets.
+func runScale(r scaleRun) error {
+	cfg := synth.DefaultScaleConfig()
+	cfg.NumVertices = int64(float64(cfg.NumVertices) * r.scale)
+	cfg.NumCommunities = int(float64(cfg.NumCommunities) * r.scale)
+	if r.vertices > 0 {
+		// An explicit vertex count scales the community count with it,
+		// preserving the default 100-vertices-per-community density.
+		cfg.NumCommunities = int(r.vertices / (synth.DefaultScaleConfig().NumVertices /
+			int64(synth.DefaultScaleConfig().NumCommunities)))
+		cfg.NumVertices = r.vertices
+	}
+	if cfg.NumCommunities < 1 {
+		cfg.NumCommunities = 1
+	}
+	// Seed offset matches Suite.ScaleCommunity, so files generated here
+	// line up with the fig6-scale experiment at the same -seed.
+	cfg.Seed = r.seed + 5
+	cfg.Shards = r.shards
+
+	rec := obs.NewRecorder()
+	if r.verbose {
+		fmt.Fprintf(os.Stderr, "synthgen: generating scale dataset: %d vertices, %d communities, seed %d, spill=%q\n",
+			cfg.NumVertices, cfg.NumCommunities, cfg.Seed, r.spillDir)
+	}
+	start := obs.Now()
+	ds, err := synth.GenerateScale("Scale", cfg, synth.ScaleOptions{
+		Workers:  r.workers,
+		SpillDir: r.spillDir,
+		Recorder: rec,
+	})
+	if err != nil {
+		return err
+	}
+	elapsed := obs.Since(start)
+	if r.verbose {
+		snap := rec.Snapshot()
+		edges := snap.Counters["synth.scale.pass1.edges"]
+		rate := float64(edges) / elapsed.Seconds()
+		fmt.Fprintf(os.Stderr, "synthgen: streamed %d raw edges in %s (%.0f edges/sec), spill %d bytes, builder peak %d bytes\n",
+			edges, elapsed.Round(time.Millisecond), rate,
+			snap.Gauges["synth.scale.spill.bytes"], snap.Gauges["synth.scale.builder.peak.bytes"])
+		for _, name := range []string{"synth.scale.members", "synth.scale.pass1", "synth.scale.pass2", "synth.scale.finish"} {
+			if ts, ok := snap.Timers[name]; ok {
+				fmt.Fprintf(os.Stderr, "synthgen: %-24s %s\n", name,
+					time.Duration(ts.SumNs).Round(time.Millisecond))
+			}
+		}
+	}
+
+	edgePath := filepath.Join(r.out, "scale.edges.txt")
+	if err := dataset.WriteEdgeListFile(edgePath, ds.Graph, ds.Name); err != nil {
+		return err
+	}
+	fmt.Printf("%s: wrote %s (%d vertices, %d edges)\n",
+		ds.Name, edgePath, ds.Graph.NumVertices(), ds.Graph.NumEdges())
+	groupPath := filepath.Join(r.out, "scale.cmty.txt")
+	if err := dataset.WriteCommunitiesFile(groupPath, ds.Graph, ds.Groups); err != nil {
+		return err
+	}
+	fmt.Printf("%s: wrote %s (%d groups)\n", ds.Name, groupPath, len(ds.Groups))
+	if r.binary {
+		binPath := filepath.Join(r.out, "scale.bin")
+		if err := dataset.WriteBinaryGraphFile(binPath, ds.Graph); err != nil {
+			return err
+		}
+		fmt.Printf("%s: wrote %s (binary CSR)\n", ds.Name, binPath)
 	}
 	return nil
 }

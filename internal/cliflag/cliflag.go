@@ -32,6 +32,26 @@ func Verbose(fs *flag.FlagSet) *bool {
 	return fs.Bool("v", false, "log progress and diagnostics to stderr")
 }
 
+// Shards registers the shared -shards flag: the scheduling granularity
+// of sharded generators. Output never depends on it; 0 derives one
+// shard per worker.
+func Shards(fs *flag.FlagSet) *int {
+	return fs.Int("shards", 0, "work-unit batches for sharded generation (0 = one per worker; never changes output)")
+}
+
+// SpillDir registers the shared -spill-dir flag selecting the streaming
+// builder's file-backed edge spill. Empty keeps the in-memory replay
+// protocol.
+func SpillDir(fs *flag.FlagSet) *string {
+	return fs.String("spill-dir", "", "directory for temporary edge-spill files (empty = regenerate edges for the fill pass)")
+}
+
+// Vertices registers the shared -vertices flag overriding a generator's
+// vertex count directly; 0 keeps the config/scale-derived default.
+func Vertices(fs *flag.FlagSet) *int64 {
+	return fs.Int64("vertices", 0, "override the generated vertex count (0 = scale-derived default)")
+}
+
 // Addr registers the shared -addr flag used by the serving binaries
 // (circled listens on it, circleload targets it). def supplies the
 // binary-appropriate default, e.g. ":8779" for a listener or

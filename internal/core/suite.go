@@ -88,6 +88,7 @@ type Suite struct {
 	lj      datasetCache
 	orkut   datasetCache
 	crawl   datasetCache
+	scale   datasetCache
 
 	mu          sync.Mutex
 	profiles    map[*synth.Dataset]*profileCache
@@ -229,6 +230,32 @@ func (s *Suite) Crawl() (*synth.Dataset, error) {
 		s.crawl.ds = ds
 	})
 	return s.crawl.ds, s.crawl.err
+}
+
+// ScaleCommunity returns the paper-scale community data set built
+// through the streaming pipeline (sharded generation feeding
+// graph.StreamBuilder). It is deliberately outside DatasetNames — the
+// serve-layer registry keeps the five paper data sets — and is reached
+// through the fig6-scale experiment and cmd/synthgen. At Scale 1 it is
+// LiveJournal-like at 30k vertices; Scale 100 reaches the paper's 3M
+// vertices / ~58M edges.
+func (s *Suite) ScaleCommunity() (*synth.Dataset, error) {
+	s.scale.once.Do(func() {
+		defer s.stageSpan("generate", "scale").End()
+		cfg := synth.DefaultScaleConfig()
+		cfg.NumVertices = int64(s.scaleInt(int(cfg.NumVertices), 1500))
+		cfg.NumCommunities = s.scaleInt(cfg.NumCommunities, 20)
+		cfg.Seed = s.opts.Seed + 5
+		ds, err := synth.GenerateScale("Scale", cfg, synth.ScaleOptions{
+			Recorder: s.opts.Recorder,
+		})
+		if err != nil {
+			s.scale.err = fmt.Errorf("generate scale data set: %w", err)
+			return
+		}
+		s.scale.ds = ds
+	})
+	return s.scale.ds, s.scale.err
 }
 
 // DatasetNames returns the registry names accepted by DatasetByName, in

@@ -75,6 +75,20 @@ func FuzzBuilder(f *testing.F) {
 			t.Fatalf("degree sum %d != 2m %d", degSum, 2*g.NumEdges())
 		}
 
+		// The streaming two-pass builder must reproduce Builder's output
+		// bit-for-bit on the same edge soup (sparse interning mode).
+		sb, err := NewStreamBuilder(directed, StreamOptions{})
+		if err != nil {
+			t.Fatalf("NewStreamBuilder: %v", err)
+		}
+		sg, err := streamReplay(sb, pairs)
+		if err != nil {
+			t.Fatalf("stream build rejected input the Builder accepted: %v", err)
+		}
+		if got, want := edgeFingerprint(sg), edgeFingerprint(g); got != want {
+			t.Fatalf("stream builder diverged from Builder:\n got %s\nwant %s", got, want)
+		}
+
 		// Round-trip: identity overlay -> Materialize must reproduce the
 		// graph exactly, regardless of how messy the input edges were.
 		o := NewOverlay(g)

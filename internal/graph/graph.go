@@ -59,15 +59,25 @@ func (g *Graph) NumEdges() int64 { return g.m }
 func (g *Graph) ExternalID(v VID) int64 { return g.ids[v] }
 
 // Lookup resolves an external data-set ID to a dense vertex index.
+// Graphs built without an interning map (StreamBuilder's dense mode
+// skips it to keep paper-scale graphs at O(n) extra bytes) fall back to
+// binary search over the ascending ids table.
 func (g *Graph) Lookup(external int64) (VID, bool) {
-	v, ok := g.index[external]
-	return v, ok
+	if g.index != nil {
+		v, ok := g.index[external]
+		return v, ok
+	}
+	i := sort.Search(len(g.ids), func(i int) bool { return g.ids[i] >= external })
+	if i < len(g.ids) && g.ids[i] == external {
+		return VID(i), true
+	}
+	return 0, false
 }
 
 // MustLookup resolves an external ID, returning an error naming the ID if
 // it is absent from the graph.
 func (g *Graph) MustLookup(external int64) (VID, error) {
-	v, ok := g.index[external]
+	v, ok := g.Lookup(external)
 	if !ok {
 		return 0, fmt.Errorf("vertex %d: not in graph", external)
 	}

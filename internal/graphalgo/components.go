@@ -70,6 +70,26 @@ func LargestComponent(g *graph.Graph) []graph.VID {
 	return out
 }
 
+// ComponentSizes returns the weakly-connected-component count and the
+// size of the largest component without materializing any member lists —
+// the summary pair paper-scale reporting needs at millions of vertices.
+func ComponentSizes(g *graph.Graph) (count, largest int) {
+	labels, count := Components(g)
+	if count == 0 {
+		return 0, 0
+	}
+	sizes := make([]int, count)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	for _, s := range sizes {
+		if s > largest {
+			largest = s
+		}
+	}
+	return count, largest
+}
+
 // IsConnected reports whether the graph is weakly connected (single
 // component spanning all vertices).
 func IsConnected(g *graph.Graph) bool {

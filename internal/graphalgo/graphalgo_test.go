@@ -94,6 +94,14 @@ func TestLargestComponent(t *testing.T) {
 	}
 }
 
+func TestComponentSizes(t *testing.T) {
+	g := mustGraph(t, false, [][2]int64{{0, 1}, {1, 2}, {10, 11}})
+	count, largest := ComponentSizes(g)
+	if count != 2 || largest != 3 {
+		t.Errorf("ComponentSizes = (%d,%d), want (2,3)", count, largest)
+	}
+}
+
 func TestIsConnected(t *testing.T) {
 	if !IsConnected(path04(t)) {
 		t.Error("path reported disconnected")
