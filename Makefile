@@ -8,7 +8,7 @@ BENCHTIME ?= 1x
 # make profile output directory.
 PROFILE_DIR ?= profile
 
-.PHONY: all build test race vet lint bench bench-scale scale-smoke profile fuzz cover-serve loadsmoke clean
+.PHONY: all build test race vet lint analyze bench bench-scale scale-smoke profile fuzz cover-serve loadsmoke clean
 
 all: build vet lint test
 
@@ -24,13 +24,28 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Project-specific determinism & concurrency checks (internal/lint):
-# maporder, globalrng, walltime, floateq, goroutineleak, ctxfirst.
-# Exits non-zero
-# with file:line diagnostics on any finding; suppress individual lines
-# with `//lint:ignore <check> <reason>`.
+# Project-specific determinism, concurrency & architecture checks
+# (internal/lint): file-scoped (maporder, globalrng, walltime, floateq,
+# goroutineleak, ctxfirst, unboundedgoroutine) plus module-scoped
+# (layering, expboundary, atomicmisuse) over the shared import graph.
+# Exits non-zero with file:line diagnostics on any finding; suppress
+# individual lines with `//lint:ignore <check> <reason>`.
 lint:
 	$(GO) run ./cmd/circlelint .
+
+# The full static-analysis gate CI runs: go vet, circlelint with every
+# check (one shared module load for all ten), and a -race smoke over
+# the packages the concurrency analyzers guard. ANALYZE_JSON (optional)
+# additionally records the machine-readable findings array — CI uploads
+# it as a workflow artifact so annotators can consume scope + import
+# chains without re-running the analysis.
+analyze: vet
+	@if [ -n "$(ANALYZE_JSON)" ]; then \
+		$(GO) run ./cmd/circlelint -json . > $(ANALYZE_JSON) || true; \
+		echo "analyze: findings recorded in $(ANALYZE_JSON)"; \
+	fi
+	$(GO) run ./cmd/circlelint .
+	$(GO) test -race -count=1 ./internal/lint/ ./internal/experiments/ ./internal/serve/
 
 # Emits machine-readable benchmark records (one JSON event per line) so
 # runs on different machines/dates can be diffed with benchstat-style

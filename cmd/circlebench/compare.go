@@ -122,7 +122,14 @@ func deltaPct(oldV, newV float64) string {
 // — routine once -scale benchmarks exist on one side only — are listed
 // after the table at the same column width, and a summary footer counts
 // all three classes so a thin intersection is visible at a glance.
-func runCompare(w io.Writer, oldPath, newPath string) error {
+//
+// failOver > 0 arms the perf ratchet: an error is returned (so the
+// command exits non-zero) when any shared benchmark's ns/op regressed
+// by more than failOver percent. When the two files' benchenv lines
+// differ the breach is downgraded to an advisory note — deltas measured
+// on different runners reflect hardware, not code, and must not fail a
+// build.
+func runCompare(w io.Writer, oldPath, newPath string, failOver float64) error {
 	oldRes, oldEnv, err := parseBenchFile(oldPath)
 	if err != nil {
 		return err
@@ -196,5 +203,29 @@ func runCompare(w io.Writer, oldPath, newPath string) error {
 	}
 	fmt.Fprintf(w, "\n%d compared, %d only in %s, %d only in %s\n",
 		len(common), len(oldOnly), oldPath, len(newOnly), newPath)
+
+	if failOver > 0 {
+		var regressed []string
+		for _, name := range common {
+			o, n := oldRes[name], newRes[name]
+			if o.NsPerOp <= 0 {
+				continue
+			}
+			if pct := (n.NsPerOp - o.NsPerOp) / o.NsPerOp * 100; pct > failOver {
+				regressed = append(regressed, fmt.Sprintf("%s %+.1f%%", name, pct))
+			}
+		}
+		envMismatch := oldEnv != "" && newEnv != "" && oldEnv != newEnv
+		switch {
+		case len(regressed) == 0:
+			fmt.Fprintf(w, "fail-over: no shared benchmark regressed beyond %g%% ns/op\n", failOver)
+		case envMismatch:
+			fmt.Fprintf(w, "advisory: %d benchmark(s) regressed beyond %g%% ns/op (%s) but the runner environments differ; not failing\n",
+				len(regressed), failOver, strings.Join(regressed, ", "))
+		default:
+			return fmt.Errorf("%d benchmark(s) regressed beyond %g%% ns/op: %s",
+				len(regressed), failOver, strings.Join(regressed, ", "))
+		}
+	}
 	return nil
 }

@@ -71,7 +71,7 @@ func TestRunCompareReportsDeltas(t *testing.T) {
 		`BenchmarkNew \t 1\t 7 ns/op\n`,
 	)
 	var sb strings.Builder
-	if err := runCompare(&sb, oldPath, newPath); err != nil {
+	if err := runCompare(&sb, oldPath, newPath, 0); err != nil {
 		t.Fatal(err)
 	}
 	got := sb.String()
@@ -116,7 +116,7 @@ func TestRunCompareSummaryAndEnv(t *testing.T) {
 		`BenchmarkNew2 \t 1\t 9 ns/op\n`,
 	)
 	var sb strings.Builder
-	if err := runCompare(&sb, oldPath, newPath); err != nil {
+	if err := runCompare(&sb, oldPath, newPath, 0); err != nil {
 		t.Fatal(err)
 	}
 	got := sb.String()
@@ -138,7 +138,7 @@ func TestRunCompareDisjointBenchSets(t *testing.T) {
 	oldPath := writeBenchFile(t, "old.json", `BenchmarkOnlyOld \t 1\t 5 ns/op\n`)
 	newPath := writeBenchFile(t, "new.json", `BenchmarkOnlyNew \t 1\t 7 ns/op\n`)
 	var sb strings.Builder
-	if err := runCompare(&sb, oldPath, newPath); err != nil {
+	if err := runCompare(&sb, oldPath, newPath, 0); err != nil {
 		t.Fatal(err)
 	}
 	got := sb.String()
@@ -171,7 +171,7 @@ func TestRunCompareAgainstRecordedBench(t *testing.T) {
 		t.Error("baseline missing BenchmarkEmpiricalExpectation")
 	}
 	var sb strings.Builder
-	if err := runCompare(&sb, baseline, baseline); err != nil {
+	if err := runCompare(&sb, baseline, baseline, 0); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "+0.0%") {
@@ -182,5 +182,70 @@ func TestRunCompareAgainstRecordedBench(t *testing.T) {
 func TestRunCompareUsageError(t *testing.T) {
 	if err := runWith(t, "compare", "only-one.json"); err == nil {
 		t.Error("expected usage error for missing operand")
+	}
+}
+
+// TestRunCompareFailOver: the ratchet fails the run when a shared
+// benchmark's ns/op regresses beyond the threshold, names the
+// benchmark, and ignores improvements and missing counterparts.
+func TestRunCompareFailOver(t *testing.T) {
+	oldPath := writeBenchFile(t, "old.json",
+		`BenchmarkSlower \t 1\t 1000 ns/op\n`,
+		`BenchmarkFaster \t 1\t 1000 ns/op\n`,
+		`BenchmarkGone \t 1\t 5 ns/op\n`,
+	)
+	newPath := writeBenchFile(t, "new.json",
+		`BenchmarkSlower \t 1\t 1200 ns/op\n`, // +20%
+		`BenchmarkFaster \t 1\t 400 ns/op\n`,  // -60%
+	)
+	var sb strings.Builder
+	err := runCompare(&sb, oldPath, newPath, 10)
+	if err == nil {
+		t.Fatal("20% regression passed a 10% ratchet")
+	}
+	if !strings.Contains(err.Error(), "BenchmarkSlower") || strings.Contains(err.Error(), "BenchmarkFaster") {
+		t.Errorf("ratchet error should name only the regressed benchmark: %v", err)
+	}
+	// A looser threshold tolerates the same delta.
+	sb.Reset()
+	if err := runCompare(&sb, oldPath, newPath, 25); err != nil {
+		t.Errorf("25%% ratchet should tolerate a 20%% regression: %v", err)
+	}
+	if !strings.Contains(sb.String(), "no shared benchmark regressed") {
+		t.Errorf("passing ratchet should say so:\n%s", sb.String())
+	}
+}
+
+// TestRunCompareFailOverEnvMismatch: a breach measured across different
+// runner environments is advisory, not fatal.
+func TestRunCompareFailOverEnvMismatch(t *testing.T) {
+	oldPath := writeBenchFile(t, "old.json",
+		`benchenv: cpus=4 gomaxprocs=4\n`,
+		`BenchmarkSlower \t 1\t 1000 ns/op\n`,
+	)
+	newPath := writeBenchFile(t, "new.json",
+		`benchenv: cpus=16 gomaxprocs=16\n`,
+		`BenchmarkSlower \t 1\t 2000 ns/op\n`,
+	)
+	var sb strings.Builder
+	if err := runCompare(&sb, oldPath, newPath, 10); err != nil {
+		t.Fatalf("env-mismatched regression must not fail the run: %v", err)
+	}
+	got := sb.String()
+	if !strings.Contains(got, "advisory:") || !strings.Contains(got, "BenchmarkSlower") {
+		t.Errorf("advisory note missing or anonymous:\n%s", got)
+	}
+}
+
+// TestRunCompareFailOverFlag wires the flag end-to-end through the
+// compare dispatch.
+func TestRunCompareFailOverFlag(t *testing.T) {
+	oldPath := writeBenchFile(t, "old.json", `BenchmarkX \t 1\t 100 ns/op\n`)
+	newPath := writeBenchFile(t, "new.json", `BenchmarkX \t 1\t 300 ns/op\n`)
+	if err := runWith(t, "compare", "-fail-over=50", oldPath, newPath); err == nil {
+		t.Error("flag-armed ratchet did not fail a 200% regression")
+	}
+	if err := runWith(t, "compare", oldPath, newPath); err != nil {
+		t.Errorf("unarmed compare should report only: %v", err)
 	}
 }

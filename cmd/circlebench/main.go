@@ -7,7 +7,7 @@
 //	circlebench [-scale 1.0] [-seed 1] [-null-samples 0] [-workers 0] [-experiment id]
 //	circlebench [-manifest run.manifest.jsonl] [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-trace out.trace]
 //	circlebench -list [-json]
-//	circlebench compare OLD.json NEW.json
+//	circlebench compare [-fail-over=pct] OLD.json NEW.json
 //	circlebench compare RUN.manifest.jsonl
 //
 // Every run writes a JSONL run manifest (seed, options, git revision,
@@ -20,8 +20,17 @@
 // The compare subcommand with two arguments diffs two recorded
 // benchmark runs (the BENCH_*.json files produced by `make bench`, i.e.
 // `go test -json` streams) and prints per-benchmark ns/op, B/op, and
-// allocs/op deltas. With one argument it summarizes a run manifest:
-// meta, per-experiment wall times, stage spans, and hot-path counters.
+// allocs/op deltas. With -fail-over=N it additionally exits non-zero
+// when any shared benchmark's ns/op regressed by more than N percent —
+// the perf ratchet for CI — unless the two runs' benchenv lines differ,
+// in which case the breach is downgraded to an advisory (cross-machine
+// deltas reflect hardware, not code). With one argument it summarizes a
+// run manifest: meta, per-experiment wall times, stage spans, and
+// hot-path counters.
+//
+// The fig6-scale experiment is gated behind -experiments=scale-pipeline
+// (see internal/experiments); experimental surfaces carry no
+// compatibility promise.
 //
 // Experiment IDs map to the paper's artifacts (table2, table3, fig2,
 // fig3, fig4, fig5, fig6, directedness, ablation-null, ablation-sampler,
@@ -48,6 +57,7 @@ import (
 
 	"gpluscircles/internal/cliflag"
 	"gpluscircles/internal/core"
+	"gpluscircles/internal/experiments"
 	"gpluscircles/internal/graphalgo"
 	"gpluscircles/internal/obs"
 )
@@ -60,16 +70,22 @@ func main() {
 }
 
 func run() error {
-	// The compare subcommand has its own positional syntax; dispatch it
-	// before flag.Parse sees the arguments.
+	// The compare subcommand has its own flag set and positional syntax;
+	// dispatch it before the main flag set sees the arguments.
 	if len(os.Args) > 1 && os.Args[1] == "compare" {
-		switch len(os.Args) {
-		case 3:
-			return summarizeManifest(os.Stdout, os.Args[2])
-		case 4:
-			return runCompare(os.Stdout, os.Args[2], os.Args[3])
+		fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+		failOver := fs.Float64("fail-over", 0,
+			"exit non-zero when any shared benchmark's ns/op regresses by more than this percentage (0 = report only; env mismatch downgrades to advisory)")
+		if err := fs.Parse(os.Args[2:]); err != nil {
+			return err
+		}
+		switch fs.NArg() {
+		case 1:
+			return summarizeManifest(os.Stdout, fs.Arg(0))
+		case 2:
+			return runCompare(os.Stdout, fs.Arg(0), fs.Arg(1), *failOver)
 		default:
-			return fmt.Errorf("usage: circlebench compare OLD.json NEW.json | circlebench compare RUN.manifest.jsonl")
+			return fmt.Errorf("usage: circlebench compare [-fail-over=pct] OLD.json NEW.json | circlebench compare RUN.manifest.jsonl")
 		}
 	}
 
@@ -87,11 +103,26 @@ func run() error {
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile (runtime/pprof) to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		tracefile   = flag.String("trace", "", "write a runtime/trace execution trace to this file")
+		exps        = cliflag.Experiments(flag.CommandLine)
 	)
-	flag.Parse()
+	// Parse through CommandLine directly so tests (ContinueOnError) see
+	// flag errors instead of having flag.Parse drop them.
+	if err := flag.CommandLine.Parse(os.Args[1:]); err != nil {
+		return err
+	}
 
 	if *list {
 		return listExperiments(os.Stdout, *jsonOut)
+	}
+
+	// Selecting the paper-scale experiment explicitly requires the
+	// opt-in. Full paper runs are not gated: the registry order and the
+	// golden report depend on every experiment rendering, and the scale
+	// entry's laptop-scale default is cheap there.
+	if *experiment == "fig6-scale" {
+		if err := exps.Require(experiments.ScalePipeline); err != nil {
+			return err
+		}
 	}
 
 	if *cpuprofile != "" {

@@ -1,11 +1,13 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"os"
 	"path/filepath"
 	"testing"
 
+	"gpluscircles/internal/experiments"
 	"gpluscircles/internal/obs"
 )
 
@@ -57,6 +59,29 @@ func TestRunSingleExperiment(t *testing.T) {
 func TestRunUnknownExperiment(t *testing.T) {
 	if err := runWith(t, "-experiment", "nope"); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+// TestFig6ScaleGated: the paper-scale experiment needs the
+// -experiments=scale-pipeline opt-in when selected explicitly.
+func TestFig6ScaleGated(t *testing.T) {
+	err := runWith(t, "-experiment", "fig6-scale", "-manifest", "")
+	var unavail experiments.UnavailableError
+	if !errors.As(err, &unavail) {
+		t.Fatalf("want UnavailableError, got %v", err)
+	}
+	if unavail.Name != "scale-pipeline" {
+		t.Errorf("error names %q, want scale-pipeline", unavail.Name)
+	}
+}
+
+// TestFig6ScaleOptIn: with the opt-in the experiment runs (at the tiny
+// test scale).
+func TestFig6ScaleOptIn(t *testing.T) {
+	err := runWith(t, "-experiments", "scale-pipeline", "-scale", "0.05",
+		"-experiment", "fig6-scale", "-manifest", "")
+	if err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -7,7 +7,7 @@
 //	circled [-addr :8779] [-scale 1.0] [-seed 1] [-workers 0]
 //	        [-queue 64] [-timeout 30s] [-drain-timeout 10s]
 //	        [-max-null-samples 128] [-manifest circled.manifest.jsonl]
-//	        [-warm] [-v]
+//	        [-experiments a,b] [-warm] [-v]
 //
 // Endpoints:
 //
@@ -15,6 +15,7 @@
 //	                                arbitrary node set (by external IDs)
 //	GET  /v1/characterize/{dataset} Table II-style graph profile (cached)
 //	GET  /v1/datasets               data-set + group inventory
+//	GET  /v1/experiments            experiments registry + per-run enablement
 //	GET  /healthz                   liveness + drain state
 //	GET  /metrics                   obs.Recorder snapshot as JSON
 //
@@ -67,8 +68,13 @@ func run() error {
 		maxNullSamples = flag.Int("max-null-samples", 128, "cap on the per-request null_samples parameter")
 		manifest       = flag.String("manifest", "circled.manifest.jsonl", "write the final run manifest (JSONL) to this file on exit (empty = disabled)")
 		warm           = flag.Bool("warm", true, "generate every data set before accepting traffic")
+		exps           = cliflag.Experiments(flag.CommandLine)
 	)
-	flag.Parse()
+	// Parse through CommandLine directly so tests (ContinueOnError) see
+	// flag errors instead of having flag.Parse drop them.
+	if err := flag.CommandLine.Parse(os.Args[1:]); err != nil {
+		return err
+	}
 
 	// SIGTERM/SIGINT start the graceful drain: stop accepting, finish
 	// in-flight work, then flush the final manifest below.
@@ -102,6 +108,7 @@ func run() error {
 		DrainTimeout:   *drainTimeout,
 		MaxNullSamples: *maxNullSamples,
 		Recorder:       rec,
+		Experiments:    *exps,
 	})
 	if err != nil {
 		return err

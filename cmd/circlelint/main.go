@@ -8,10 +8,15 @@
 //	circlelint [-checks maporder,floateq] [-json] [-list] [dir]
 //
 // dir defaults to the current directory; the module root is located by
-// walking upward to the nearest go.mod. With -json, findings are
-// emitted as a single JSON array of {file, line, col, check, message}
-// objects (an empty array for a clean tree) for machine consumers such
-// as CI annotators. Findings are suppressed with
+// walking upward to the nearest go.mod. The module is parsed and
+// type-checked exactly once; file-scoped checks run per package and
+// module-scoped checks (expboundary, layering, atomicmisuse) run once
+// over the shared module view with the repo's layer map
+// (lint.DefaultConfig) plus the experiments registry's gated-package
+// list. With -json, findings are emitted as a single JSON array of
+// {file, line, col, check, scope, message, chain} objects (an empty
+// array for a clean tree; chain only on import-graph findings) for
+// machine consumers such as CI annotators. Findings are suppressed with
 //
 //	//lint:ignore <check> <reason>
 //
@@ -29,6 +34,7 @@ import (
 	"strings"
 
 	"gpluscircles/internal/cliflag"
+	"gpluscircles/internal/experiments"
 	"gpluscircles/internal/lint"
 )
 
@@ -80,7 +86,14 @@ func run(w *os.File, args []string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	diags := lint.Run(pkgs, analyzers)
+	// The architecture config: the repo's layer map plus the experiment
+	// registry's package gating, so GatePackage declarations and
+	// //experiments:package markers are enforced identically.
+	cfg := lint.DefaultConfig()
+	for path, name := range experiments.GatedPackages() {
+		cfg.GatedPackages[path] = name
+	}
+	diags := lint.NewModule(pkgs).Run(analyzers, cfg)
 	if *jsonMode {
 		if err := writeJSON(w, root, diags); err != nil {
 			return 0, err
@@ -105,7 +118,11 @@ type jsonDiagnostic struct {
 	Line    int    `json:"line"`
 	Col     int    `json:"col"`
 	Check   string `json:"check"`
+	Scope   string `json:"scope"`
 	Message string `json:"message"`
+	// Chain is the offending import chain (importer first) on
+	// import-graph findings (layering, expboundary); empty otherwise.
+	Chain []string `json:"chain,omitempty"`
 }
 
 // writeJSON emits every diagnostic as one JSON array (empty for a clean
@@ -122,7 +139,9 @@ func writeJSON(w io.Writer, root string, diags []lint.Diagnostic) error {
 			Line:    d.Pos.Line,
 			Col:     d.Pos.Column,
 			Check:   d.Check,
+			Scope:   d.Scope.String(),
 			Message: d.Message,
+			Chain:   d.Chain,
 		})
 	}
 	enc := json.NewEncoder(w)

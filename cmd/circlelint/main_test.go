@@ -177,6 +177,110 @@ func Bad() int { return rand.Intn(10) }
 	}
 }
 
+// TestRunModuleScopedJSON: a module with a marker-gated package
+// imported from stable code produces an expboundary finding whose JSON
+// carries scope "module" and the offending import chain, while a
+// file-scoped finding in the same tree carries scope "file" and no
+// chain.
+func TestRunModuleScopedJSON(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module example.com/violating\n\ngo 1.22\n")
+	if err := os.Mkdir(filepath.Join(dir, "exp"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, filepath.Join(dir, "exp", "exp.go"), `// Package exp is experimental.
+//
+//experiments:package turbo
+package exp
+
+func Turbo() int { return 1 }
+`)
+	writeFile(t, filepath.Join(dir, "stable.go"), `package violating
+
+import (
+	"math/rand"
+
+	"example.com/violating/exp"
+)
+
+func Leak() int { return exp.Turbo() + rand.Intn(10) }
+`)
+
+	out, err := os.CreateTemp(t.TempDir(), "lintout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	code, runErr := run(out, []string{"-json", dir})
+	if runErr != nil {
+		t.Fatalf("run: %v", runErr)
+	}
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	data, err := os.ReadFile(out.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diags []jsonDiagnostic
+	if err := json.Unmarshal(data, &diags); err != nil {
+		t.Fatalf("-json output not parseable: %v\n%s", err, data)
+	}
+	var sawModule, sawFile bool
+	for _, d := range diags {
+		switch d.Check {
+		case "expboundary":
+			sawModule = true
+			if d.Scope != "module" {
+				t.Errorf("expboundary scope = %q, want module", d.Scope)
+			}
+			wantChain := []string{"example.com/violating", "example.com/violating/exp"}
+			if len(d.Chain) != 2 || d.Chain[0] != wantChain[0] || d.Chain[1] != wantChain[1] {
+				t.Errorf("expboundary chain = %v, want %v", d.Chain, wantChain)
+			}
+			if d.File != "stable.go" {
+				t.Errorf("finding anchored at %s, want the importing file", d.File)
+			}
+		case "globalrng":
+			sawFile = true
+			if d.Scope != "file" {
+				t.Errorf("globalrng scope = %q, want file", d.Scope)
+			}
+			if len(d.Chain) != 0 {
+				t.Errorf("file-scoped finding carries a chain: %v", d.Chain)
+			}
+		}
+	}
+	if !sawModule {
+		t.Errorf("no expboundary finding in:\n%s", data)
+	}
+	if !sawFile {
+		t.Errorf("no globalrng finding in:\n%s", data)
+	}
+}
+
+// TestRunLoadsModuleOnce pins the driver-level single-load property:
+// one invocation with the full analyzer suite costs exactly one
+// LoadModule call.
+func TestRunLoadsModuleOnce(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module example.com/clean\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "good.go"), "package clean\n")
+	out, err := os.CreateTemp(t.TempDir(), "lintout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	before := lint.LoadCount()
+	code, runErr := run(out, []string{dir})
+	if runErr != nil || code != 0 {
+		t.Fatalf("run: code %d, err %v", code, runErr)
+	}
+	if got := lint.LoadCount() - before; got != 1 {
+		t.Errorf("driver cost %d loads, want exactly 1", got)
+	}
+}
+
 func writeFile(t *testing.T, path, content string) {
 	t.Helper()
 	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {

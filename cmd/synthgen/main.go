@@ -12,7 +12,11 @@
 // community set built through the streaming pipeline; it honors
 // -vertices, -shards, -spill-dir and -workers, e.g.
 //
-//	synthgen -dataset scale -vertices 3000000 -spill-dir /tmp -v -out data
+//	synthgen -experiments=scale-pipeline -dataset scale -vertices 3000000 -spill-dir /tmp -v -out data
+//
+// The scale dataset is experimental and must be opted into with
+// -experiments=scale-pipeline; experimental surfaces carry no
+// compatibility promise.
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 	"gpluscircles/internal/cliflag"
 	"gpluscircles/internal/core"
 	"gpluscircles/internal/dataset"
+	"gpluscircles/internal/experiments"
 	"gpluscircles/internal/obs"
 	"gpluscircles/internal/synth"
 )
@@ -49,8 +54,14 @@ func run() error {
 		out      = flag.String("out", ".", "output directory")
 		which    = flag.String("dataset", "all", "gplus|twitter|livejournal|orkut|crawl|scale|all")
 		binary   = flag.Bool("binary", false, "additionally write binary CSR graphs (.bin) for fast reload")
+		exps     = cliflag.Experiments(flag.CommandLine)
 	)
-	flag.Parse()
+	// Parse through CommandLine directly so tests (ContinueOnError) see
+	// flag errors — e.g. a defunct -experiments value — instead of having
+	// flag.Parse drop them.
+	if err := flag.CommandLine.Parse(os.Args[1:]); err != nil {
+		return err
+	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		return fmt.Errorf("create output dir: %w", err)
@@ -58,6 +69,9 @@ func run() error {
 	suite := core.NewSuite(core.SuiteOptions{Scale: *scale, Seed: *seed})
 
 	if *which == "scale" {
+		if err := exps.Require(experiments.ScalePipeline); err != nil {
+			return err
+		}
 		return runScale(scaleRun{
 			scale: *scale, seed: *seed, verbose: *verbose,
 			workers: *workers, shards: *shards, spillDir: *spillDir,

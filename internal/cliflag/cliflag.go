@@ -5,7 +5,11 @@
 // the whole tool set (a binary adopts the subset that applies to it).
 package cliflag
 
-import "flag"
+import (
+	"flag"
+
+	"gpluscircles/internal/experiments"
+)
 
 // Seed registers the shared -seed flag. Everything random in a binary
 // must derive deterministically from this one value; 1 is the project's
@@ -50,6 +54,39 @@ func SpillDir(fs *flag.FlagSet) *string {
 // vertex count directly; 0 keeps the config/scale-derived default.
 func Vertices(fs *flag.FlagSet) *int64 {
 	return fs.Int64("vertices", 0, "override the generated vertex count (0 = scale-derived default)")
+}
+
+// experimentsValue adapts an experiments.Set to the flag.Value
+// protocol: parsing validates every name against the registry, so an
+// unknown or concluded experiment fails at flag-parse time with the
+// registry's own explanation instead of being silently ignored.
+type experimentsValue struct{ set *experiments.Set }
+
+func (v experimentsValue) String() string {
+	if v.set == nil || *v.set == nil {
+		return ""
+	}
+	return (*v.set).String()
+}
+
+func (v experimentsValue) Set(spec string) error {
+	s, err := experiments.ParseSet(spec)
+	if err != nil {
+		return err
+	}
+	*v.set = s
+	return nil
+}
+
+// Experiments registers the shared -experiments flag: the opt-in
+// switch for the registered experiments a run may enable. The zero
+// value is the empty set — every experimental surface stays off unless
+// named here.
+func Experiments(fs *flag.FlagSet) *experiments.Set {
+	set := make(experiments.Set)
+	fs.Var(experimentsValue{&set}, "experiments",
+		"comma-separated experiments to enable for this run (experimental surfaces carry no compatibility promise)")
+	return &set
 }
 
 // Addr registers the shared -addr flag used by the serving binaries

@@ -1,0 +1,32 @@
+package experiments
+
+// The project's experiment registry. Keep this file the single place
+// current, concluded and package-gated experiments are declared, so a
+// reviewer can read the whole experimental surface at a glance.
+var (
+	// ScalePipeline gates the paper-scale surface: the streaming-builder
+	// community data set (`synthgen -dataset scale`) and the fig6-scale
+	// experiment selection in circlebench. The ≥3M-vertex configuration
+	// is still being profiled (ROADMAP), so its flags, output layout and
+	// seed mapping may change between commits.
+	ScalePipeline = Register("scale-pipeline",
+		"paper-scale streaming community data set (synthgen -dataset scale, circlebench -experiment fig6-scale)")
+)
+
+func init() {
+	// The pre-streaming scale path materialized a full EdgeList before
+	// building the CSR; the StreamBuilder replaced it (DESIGN.md §9).
+	// Remembering the name here turns a stale script into a pointer at
+	// the replacement instead of an unknown-experiment error.
+	Conclude("scale-edgelist",
+		`the "scale-edgelist" experiment is defunct: the paper-scale data set is now built by the streaming pipeline; use -experiments=scale-pipeline instead`)
+
+	// No package is experiment-gated yet: the scale surface lives behind
+	// function-level gates inside stable packages. The first package-level
+	// experiment will be the NCP sweep (ROADMAP), declared here as
+	//
+	//	GatePackage("gpluscircles/internal/ncp", NCPSweep.Name)
+	//
+	// or equivalently with an //experiments:package marker in the package
+	// itself; circlelint's expboundary analyzer enforces either form.
+}

@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Atomicmisuse flags struct fields that are accessed through the
+// sync/atomic functions in one place and by plain load or store in
+// another, anywhere in the module. Mixing the two is a data race even
+// when each site looks locally correct: the plain access ignores the
+// ordering the atomic side paid for. Because the analyzer is
+// module-scoped and every package shares one type-checked universe, the
+// same *types.Var identifies a field across packages — an exported
+// counter updated atomically in its home package and read plainly from
+// another package is caught, which no single-package pass can see. The
+// typed atomics (atomic.Int64 and friends) make the mistake
+// unrepresentable and are the preferred fix.
+var Atomicmisuse = &Analyzer{
+	Name:      "atomicmisuse",
+	Doc:       "struct fields accessed via sync/atomic in one place and by plain load/store in another",
+	Scope:     ScopeModule,
+	RunModule: runAtomicmisuse,
+}
+
+// fieldAccess is one access site of a tracked field.
+type fieldAccess struct {
+	pos  token.Pos
+	pkg  *Package
+	expr *ast.SelectorExpr
+}
+
+func runAtomicmisuse(pass *ModulePass) {
+	// Pass 1: every field whose address feeds a sync/atomic function,
+	// with the selector nodes involved (so pass 2 can exclude them).
+	atomicSites := make(map[*types.Var][]fieldAccess)
+	atomicExprs := make(map[*ast.SelectorExpr]bool)
+	for _, pkg := range pass.Mod.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pkg, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				for _, arg := range call.Args {
+					unary, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || unary.Op != token.AND {
+						continue
+					}
+					sel, ok := ast.Unparen(unary.X).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					v := selectedField(pkg, sel)
+					if v == nil {
+						continue
+					}
+					atomicSites[v] = append(atomicSites[v], fieldAccess{pos: sel.Pos(), pkg: pkg, expr: sel})
+					atomicExprs[sel] = true
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicSites) == 0 {
+		return
+	}
+
+	// Pass 2: plain selector accesses of the same fields anywhere in the
+	// module, excluding the atomic call sites themselves.
+	plainSites := make(map[*types.Var][]fieldAccess)
+	for _, pkg := range pass.Mod.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || atomicExprs[sel] {
+					return true
+				}
+				v := selectedField(pkg, sel)
+				if v == nil {
+					return true
+				}
+				if _, tracked := atomicSites[v]; !tracked {
+					return true
+				}
+				plainSites[v] = append(plainSites[v], fieldAccess{pos: sel.Pos(), pkg: pkg, expr: sel})
+				return true
+			})
+		}
+	}
+
+	// Deterministic report order: fields sorted by their declaration
+	// position, then plain sites in source order.
+	fields := make([]*types.Var, 0, len(plainSites))
+	for v := range plainSites {
+		fields = append(fields, v)
+	}
+	fset := pass.Mod.Pkgs[0].Fset
+	sort.Slice(fields, func(i, j int) bool { return fields[i].Pos() < fields[j].Pos() })
+	for _, v := range fields {
+		sites := plainSites[v]
+		sort.Slice(sites, func(i, j int) bool { return sites[i].pos < sites[j].pos })
+		first := fset.Position(atomicSites[v][0].pos)
+		for _, site := range sites {
+			pass.Reportf(site.pos,
+				"field %s is accessed with sync/atomic at %s:%d but plainly here; mixed access is a data race — use the typed atomics (atomic.%s)",
+				v.Name(), shortFile(first.Filename), first.Line, typedAtomicFor(v.Type()))
+		}
+	}
+}
+
+// selectedField resolves a selector to the struct field it denotes, or
+// nil when it selects a method, a package member, or anything else.
+func selectedField(pkg *Package, sel *ast.SelectorExpr) *types.Var {
+	if selection, ok := pkg.Info.Selections[sel]; ok && selection.Kind() == types.FieldVal {
+		if v, ok := selection.Obj().(*types.Var); ok {
+			return v
+		}
+		return nil
+	}
+	// Qualified references (pkg.Var) resolve through Uses; only fields
+	// are interesting here.
+	if v, ok := pkg.Info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+		return v
+	}
+	return nil
+}
+
+// shortFile trims the path to its last two elements for readable
+// cross-file references inside a message.
+func shortFile(path string) string {
+	parts := strings.Split(path, "/")
+	if len(parts) <= 2 {
+		return path
+	}
+	return strings.Join(parts[len(parts)-2:], "/")
+}
+
+// typedAtomicFor names the sync/atomic typed wrapper matching t, for
+// the fix hint.
+func typedAtomicFor(t types.Type) string {
+	basic, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return "Value"
+	}
+	switch basic.Kind() {
+	case types.Int32:
+		return "Int32"
+	case types.Int64, types.Int:
+		return "Int64"
+	case types.Uint32:
+		return "Uint32"
+	case types.Uint64, types.Uint:
+		return "Uint64"
+	case types.Uintptr:
+		return "Uintptr"
+	case types.Bool:
+		return "Bool"
+	default:
+		return "Value"
+	}
+}

@@ -1,0 +1,127 @@
+package lint
+
+import "strings"
+
+// Config is the architecture description the module-scoped analyzers
+// check: the layer map for layering, and the experiment-gate wiring for
+// expboundary. DefaultConfig returns the repo's own map; fixture tests
+// construct custom ones.
+type Config struct {
+	// ExperimentsPath is the import path of the experiments registry. A
+	// command package importing an experiment-gated package must also
+	// import the registry, so the gate is checkable at the call site.
+	ExperimentsPath string
+	// CommandPrefix marks command packages (the binaries), which get the
+	// registry-mediated exception in expboundary and the Allow list in
+	// layering. Matched as a path prefix, e.g. "gpluscircles/cmd/".
+	CommandPrefix string
+	// GatedPackages is the registry-declared experiment-gated package
+	// list, import path -> experiment name. Merged with in-source
+	// //experiments:package markers (markers win).
+	GatedPackages map[string]string
+	// Forbid are the layer rules: no import chain may lead from a From
+	// package to a To package.
+	Forbid []ForbidRule
+	// CommandAllow, when non-empty, is the blessed-seam allowlist for
+	// command packages: every direct module-internal import of a package
+	// under CommandPrefix must match one of these patterns.
+	CommandAllow []string
+}
+
+// ForbidRule forbids any module-internal import chain from a package
+// matching From to a package matching To. Patterns are exact import
+// paths or go-style prefix patterns ending in "/...".
+type ForbidRule struct {
+	// Name labels the rule in diagnostics, e.g. "kernels-below-core".
+	Name string
+	// Why is the one-line architectural reason reported with findings.
+	Why  string
+	From []string
+	To   []string
+}
+
+// matchPattern reports whether an import path matches a pattern: exact,
+// or prefix when the pattern ends in "/...".
+func matchPattern(path, pattern string) bool {
+	if prefix, ok := strings.CutSuffix(pattern, "/..."); ok {
+		return path == prefix || strings.HasPrefix(path, prefix+"/")
+	}
+	return path == pattern
+}
+
+// matchAny reports whether path matches any of the patterns.
+func matchAny(path string, patterns []string) bool {
+	for _, p := range patterns {
+		if matchPattern(path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// DefaultConfig is the repo's own architecture map, the invariant the
+// layering analyzer keeps true by construction:
+//
+//	foundation   obs, stats, powerlaw, report, cliflag
+//	graph        graph (CSR core; imports only obs)
+//	kernels      score, graphalgo, sample
+//	domain       synth, nullmodel, detect, feature, dataset
+//	orchestration core
+//	serving      serve
+//	tools        lint, experiments (import nothing module-internal)
+//	commands     cmd/* (blessed seams only)
+//
+// Lower layers must never reach up: an algorithm kernel importing the
+// orchestrator (or anything importing a cmd package) is a cycle waiting
+// to happen and makes the kernel untestable in isolation.
+func DefaultConfig() *Config {
+	const mod = "gpluscircles"
+	layer := func(pkgs ...string) []string {
+		out := make([]string, len(pkgs))
+		for i, p := range pkgs {
+			out[i] = mod + "/internal/" + p
+		}
+		return out
+	}
+	foundation := layer("obs", "stats", "powerlaw", "report", "cliflag")
+	below := layer("obs", "stats", "powerlaw", "report", "cliflag",
+		"graph", "score", "graphalgo", "sample",
+		"synth", "nullmodel", "detect", "feature", "dataset")
+	return &Config{
+		ExperimentsPath: mod + "/internal/experiments",
+		CommandPrefix:   mod + "/cmd/",
+		GatedPackages:   map[string]string{},
+		Forbid: []ForbidRule{
+			{
+				Name: "no-upward-imports",
+				Why:  "algorithm and data layers must stay usable without the orchestrator or the service",
+				From: below,
+				To:   []string{mod + "/internal/core", mod + "/internal/serve", mod + "/cmd/..."},
+			},
+			{
+				Name: "core-below-serve",
+				Why:  "the experiment orchestrator must not depend on the serving layer or the binaries",
+				From: []string{mod + "/internal/core"},
+				To:   []string{mod + "/internal/serve", mod + "/cmd/..."},
+			},
+			{
+				Name: "foundation-is-leaf",
+				Why:  "observability, stats and report primitives must not depend on graph or domain code",
+				From: foundation,
+				To: layer("graph", "score", "graphalgo", "sample",
+					"synth", "nullmodel", "detect", "feature", "dataset"),
+			},
+			{
+				Name: "tools-standalone",
+				Why:  "the static-analysis engine and the experiments registry are self-contained by design",
+				From: layer("lint", "experiments"),
+				To:   []string{mod + "/internal/...", mod + "/cmd/..."},
+			},
+		},
+		// The blessed seams a binary may touch directly. Notably absent:
+		// nullmodel, sample, feature, stats — binaries reach those through
+		// core's orchestration or score's interfaces, never directly.
+		CommandAllow: layer("cliflag", "core", "dataset", "detect", "experiments",
+			"graph", "graphalgo", "lint", "obs", "powerlaw", "report", "score", "serve", "synth"),
+	}
+}

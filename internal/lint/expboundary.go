@@ -1,0 +1,68 @@
+package lint
+
+import "strings"
+
+// Expboundary enforces the experiment gate at the import graph: a
+// package owned by an experiment (declared with an
+// //experiments:package marker or in Config.GatedPackages) may only be
+// imported by other experiment-gated packages, or by command packages
+// that also import the experiments registry — the static shadow of the
+// runtime rule that gated surfaces are reached through
+// experiments.Set.Require. A stable package importing an experimental
+// one would silently extend the no-compatibility-promise surface into
+// code that does promise compatibility.
+var Expboundary = &Analyzer{
+	Name:      "expboundary",
+	Doc:       "stable packages importing experiment-gated packages (cmd binaries must go through the registry)",
+	Scope:     ScopeModule,
+	RunModule: runExpboundary,
+}
+
+func runExpboundary(pass *ModulePass) {
+	cfg := pass.Config
+	for _, from := range pass.Mod.Paths() {
+		if isExternalTestPkg(from) {
+			continue
+		}
+		if _, gated := pass.Mod.GatedExperiment(from, cfg); gated {
+			continue // experiments may depend on experiments
+		}
+		isCmd := cfg.CommandPrefix != "" && strings.HasPrefix(from, cfg.CommandPrefix)
+		for _, dep := range pass.Mod.Imports(from) {
+			exp, gated := pass.Mod.GatedExperiment(dep, cfg)
+			if !gated {
+				continue
+			}
+			if isCmd {
+				if cfg.ExperimentsPath != "" && importsPath(pass.Mod, from, cfg.ExperimentsPath) {
+					continue // gate is checkable at the call site
+				}
+				pass.ReportChain(pass.Mod.ImportPos(from, dep), []string{from, dep},
+					"command %s imports experiment-gated package %s (experiment %q) without the experiments registry %s; gate the surface with Set.Require",
+					from, dep, exp, cfg.ExperimentsPath)
+				continue
+			}
+			pass.ReportChain(pass.Mod.ImportPos(from, dep), []string{from, dep},
+				"stable package %s imports experiment-gated package %s (experiment %q); experimental code carries no compatibility promise and must stay behind the gate",
+				from, dep, exp)
+		}
+	}
+}
+
+// importsPath reports whether pkg directly imports dep.
+func importsPath(m *Module, pkg, dep string) bool {
+	for _, p := range m.Imports(pkg) {
+		if p == dep {
+			return true
+		}
+	}
+	return false
+}
+
+// isExternalTestPkg reports whether the import path names an external
+// _test package as loaded by LoadModule (suffixed ".test"). Test code
+// may import anything in the module; the architecture rules bind the
+// shipped packages.
+func isExternalTestPkg(path string) bool {
+	return strings.HasSuffix(path, ".test")
+}

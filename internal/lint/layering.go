@@ -1,0 +1,56 @@
+package lint
+
+import "strings"
+
+// Layering checks the declarative layer map (Config.Forbid,
+// Config.CommandAllow) against the module's import graph. Forbid rules
+// are transitive — no import chain may lead from a From package to a To
+// package, and a violation reports the full offending chain, not just
+// the first edge — while the command allowlist binds direct imports:
+// binaries touch only the blessed seams, so refactors behind those
+// seams never ripple into cmd/. The map lives in code (DefaultConfig)
+// so the repo's architecture is a tested invariant, not a convention.
+var Layering = &Analyzer{
+	Name:      "layering",
+	Doc:       "import-graph layer violations against the declarative layer map, full chains reported",
+	Scope:     ScopeModule,
+	RunModule: runLayering,
+}
+
+func runLayering(pass *ModulePass) {
+	cfg := pass.Config
+	for _, from := range pass.Mod.Paths() {
+		if isExternalTestPkg(from) {
+			continue
+		}
+		for i := range cfg.Forbid {
+			rule := &cfg.Forbid[i]
+			if !matchAny(from, rule.From) || matchAny(from, rule.To) {
+				continue
+			}
+			chain := pass.Mod.Chain(from, func(p string) bool {
+				return matchAny(p, rule.To) && !isExternalTestPkg(p)
+			})
+			if chain == nil {
+				continue
+			}
+			why := rule.Why
+			if why == "" {
+				why = "forbidden by the layer map"
+			}
+			pass.ReportChain(pass.Mod.ImportPos(from, chain[1]), chain,
+				"layer rule %q: %s must not reach %s — %s",
+				rule.Name, from, chain[len(chain)-1], why)
+		}
+		if len(cfg.CommandAllow) > 0 && cfg.CommandPrefix != "" && strings.HasPrefix(from, cfg.CommandPrefix) {
+			for _, dep := range pass.Mod.Imports(from) {
+				if matchAny(dep, cfg.CommandAllow) {
+					continue
+				}
+				pass.ReportChain(pass.Mod.ImportPos(from, dep), []string{from, dep},
+					"command %s imports %s, which is not a blessed seam; reach it through the allowed packages or bless it in the layer map",
+					from, dep)
+			}
+		}
+	}
+}

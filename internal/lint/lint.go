@@ -15,6 +15,17 @@
 //	floateq       == / != between floating-point operands
 //	goroutineleak go statements with no visible join in the function
 //	ctxfirst      exported functions taking context.Context anywhere but first
+//	unboundedgoroutine go statements fanning out per loop iteration with no bound
+//
+// Those are file-scoped: each inspects one package at a time. The
+// engine also runs module-scoped analyzers, which see every package of
+// the module at once — shared cross-package type information plus the
+// explicit import graph built by NewModule — from a single load
+// (LoadModule parses and type-checks the module exactly once per run):
+//
+//	expboundary  stable packages importing experiment-gated ones
+//	layering     declarative layer map over the import graph, chains reported
+//	atomicmisuse a field accessed via sync/atomic in one place, plainly in another
 //
 // A finding can be suppressed with a directive comment on the offending
 // line or the line above it:
@@ -32,11 +43,37 @@ import (
 	"sort"
 )
 
+// Scope says how much of the module an analyzer needs to see at once.
+type Scope int
+
+const (
+	// ScopeFile analyzers inspect one package at a time; they run per
+	// package with that package's own type information.
+	ScopeFile Scope = iota
+	// ScopeModule analyzers see the whole module: every package, the
+	// shared type information, and the import graph.
+	ScopeModule
+)
+
+// String renders the scope the way `circlelint -json` reports it.
+func (s Scope) String() string {
+	if s == ScopeModule {
+		return "module"
+	}
+	return "file"
+}
+
 // Diagnostic is one finding at a resolved source position.
 type Diagnostic struct {
 	Pos     token.Position
 	Check   string
 	Message string
+	// Scope records which kind of analyzer produced the finding.
+	Scope Scope
+	// Chain is the offending module-internal import chain, importer
+	// first, for graph-level findings (layering, expboundary); nil for
+	// AST-level ones.
+	Chain []string
 }
 
 // String formats the diagnostic in the conventional file:line:col form.
@@ -70,14 +107,20 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Analyzer is one named check.
+// Analyzer is one named check. File-scoped analyzers set Run;
+// module-scoped ones set Scope to ScopeModule and RunModule instead.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name  string
+	Doc   string
+	Scope Scope
+	// Run executes a file-scoped analyzer over one package.
+	Run func(*Pass)
+	// RunModule executes a module-scoped analyzer over the whole module.
+	RunModule func(*ModulePass)
 }
 
-// All returns the full analyzer suite in stable order.
+// All returns the full analyzer suite in stable order: the file-scoped
+// checks first, then the module-scoped ones.
 func All() []*Analyzer {
 	return []*Analyzer{
 		Maporder,
@@ -86,6 +129,10 @@ func All() []*Analyzer {
 		Floateq,
 		Goroutineleak,
 		Ctxfirst,
+		Unboundedgoroutine,
+		Expboundary,
+		Layering,
+		Atomicmisuse,
 	}
 }
 
@@ -99,9 +146,11 @@ func ByName(name string) *Analyzer {
 	return nil
 }
 
-// Run executes every analyzer over every package, applies the
-// //lint:ignore directives, and returns the surviving diagnostics sorted
-// by position then check name.
+// Run executes the file-scoped analyzers over every package, applies
+// the //lint:ignore directives, and returns the surviving diagnostics
+// sorted by position then check name. Module-scoped analyzers in the
+// list are skipped — they need the import graph, so they run through
+// Module.Run.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
@@ -109,6 +158,9 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		diags = append(diags, ign.malformed...)
 		var pkgDiags []Diagnostic
 		for _, a := range analyzers {
+			if a.Scope != ScopeFile {
+				continue
+			}
 			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &pkgDiags}
 			a.Run(pass)
 		}
@@ -118,6 +170,13 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			}
 		}
 	}
+	sortDiagnostics(diags)
+	return diags
+}
+
+// sortDiagnostics orders findings by position then check name, the
+// stable order every entry point emits.
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -131,5 +190,4 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Check < b.Check
 	})
-	return diags
 }

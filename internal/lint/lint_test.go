@@ -142,10 +142,11 @@ func TestIgnoreDirectiveMalformed(t *testing.T) {
 	}
 }
 
-// TestRepoIsLintClean runs the full analyzer suite over the whole module
-// — the same gate as `make lint` — and demands zero findings. Any new
-// nondeterminism pattern must be fixed or carry a reasoned
-// //lint:ignore before it can land.
+// TestRepoIsLintClean runs the full analyzer suite — file-scoped and
+// module-scoped, against the repo's own layer map — over the whole
+// module, the same gate as `make lint`, and demands zero findings. Any
+// new nondeterminism pattern or architecture violation must be fixed
+// or carry a reasoned //lint:ignore before it can land.
 func TestRepoIsLintClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-module type-check in -short mode")
@@ -161,7 +162,11 @@ func TestRepoIsLintClean(t *testing.T) {
 	if len(pkgs) < 10 {
 		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
 	}
-	for _, d := range Run(pkgs, All()) {
+	analyzers := All()
+	if len(analyzers) < 10 {
+		t.Fatalf("analyzer suite shrank to %d; expboundary/layering/atomicmisuse must stay in the gate", len(analyzers))
+	}
+	for _, d := range NewModule(pkgs).Run(analyzers, DefaultConfig()) {
 		t.Errorf("%s", d)
 	}
 }

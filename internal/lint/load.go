@@ -96,11 +96,22 @@ func modulePath(gomod string) (string, error) {
 	return "", fmt.Errorf("no module directive in %s", gomod)
 }
 
+// loadCalls counts LoadModule invocations in this process. The whole
+// point of the module engine is that one run parses and type-checks the
+// module exactly once, shared by every analyzer scope; the load-count
+// tests pin that property so an analyzer can never sneak in its own
+// load. Plain int: the driver is single-threaded by construction.
+var loadCalls int
+
+// LoadCount returns the number of LoadModule calls so far.
+func LoadCount() int { return loadCalls }
+
 // LoadModule parses and type-checks every package under the module root
 // (including test files; external _test packages are loaded as their own
 // packages). Directories named testdata, hidden directories, and .git
 // are skipped, matching the go tool's conventions.
 func LoadModule(root string) ([]*Package, error) {
+	loadCalls++
 	root, err := filepath.Abs(root)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree lays out a throwaway module from path -> content pairs.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for path, content := range files {
+		full := filepath.Join(dir, filepath.FromSlash(path))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const testGoMod = "module example.com/m\n\ngo 1.22\n"
+
+func TestLoadModuleSyntaxError(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod":  testGoMod,
+		"bad.go":  "package m\n\nfunc broken( {\n",
+		"good.go": "package m\n",
+	})
+	if _, err := LoadModule(dir); err == nil {
+		t.Error("unparseable file loaded without error")
+	}
+}
+
+func TestLoadModuleTypeError(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod": testGoMod,
+		"bad.go": "package m\n\nfunc F() int { return \"not an int\" }\n",
+	})
+	_, err := LoadModule(dir)
+	if err == nil {
+		t.Fatal("type error loaded without error")
+	}
+	if !strings.Contains(err.Error(), "type-check") {
+		t.Errorf("error %q does not identify the type-check stage", err)
+	}
+}
+
+func TestLoadModuleMissingGoMod(t *testing.T) {
+	dir := writeTree(t, map[string]string{"a.go": "package m\n"})
+	if _, err := LoadModule(dir); err == nil {
+		t.Error("module without go.mod loaded")
+	}
+}
+
+func TestLoadModuleNoModuleDirective(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod": "go 1.22\n",
+		"a.go":   "package m\n",
+	})
+	_, err := LoadModule(dir)
+	if err == nil {
+		t.Fatal("go.mod without a module directive loaded")
+	}
+	if !strings.Contains(err.Error(), "module directive") {
+		t.Errorf("error %q does not explain the missing directive", err)
+	}
+}
+
+func TestLoadModuleImportCycle(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod": testGoMod,
+		"a/a.go": "package a\n\nimport \"example.com/m/b\"\n\nvar A = b.B\n",
+		"b/b.go": "package b\n\nimport \"example.com/m/a\"\n\nvar B = a.A\n",
+	})
+	_, err := LoadModule(dir)
+	if err == nil {
+		t.Fatal("import cycle loaded without error")
+	}
+	if !strings.Contains(err.Error(), "import cycle") {
+		t.Errorf("error %q does not name the cycle", err)
+	}
+}
+
+func TestLoadModuleQuotedModuleDirective(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod": "module \"example.com/quoted\"\n\ngo 1.22\n",
+		"a.go":   "package quoted\n",
+	})
+	pkgs, err := LoadModule(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "example.com/quoted" {
+		t.Errorf("quoted module directive resolved to %+v", pkgs)
+	}
+}
+
+func TestLoadModuleSkipsConventionalDirs(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod":             testGoMod,
+		"a.go":               "package m\n",
+		"testdata/x/x.go":    "package x\n\nfunc broken( {\n", // never parsed
+		".hidden/h.go":       "package h\n\nfunc broken( {\n",
+		"_attic/old.go":      "package old\n\nfunc broken( {\n",
+		"sub/sub.go":         "package sub\n",
+		"sub/testdata/t.go":  "package t\n\nfunc broken( {\n",
+		"sub/sub_test.go":    "package sub\n\nimport \"testing\"\n\nfunc TestOK(t *testing.T) {}\n",
+		"sub/ext_test.go":    "package sub_test\n\nimport \"testing\"\n\nfunc TestExt(t *testing.T) {}\n",
+		"sub/doc/doc.go":     "package doc\n",
+		"sub/doc/doc_ext.go": "package doc\n",
+	})
+	pkgs, err := LoadModule(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	for _, pkg := range pkgs {
+		paths = append(paths, pkg.Path)
+	}
+	want := map[string]bool{
+		"example.com/m":          true,
+		"example.com/m/sub":      true,
+		"example.com/m/sub.test": true, // external _test package
+		"example.com/m/sub/doc":  true,
+	}
+	if len(paths) != len(want) {
+		t.Fatalf("loaded %v, want the %d packages %v", paths, len(want), want)
+	}
+	for _, p := range paths {
+		if !want[p] {
+			t.Errorf("unexpected package %s (skipped dirs leaked?)", p)
+		}
+	}
+}
+
+func TestLoadPackageDirRejectsMultiplePackages(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"a.go": "package a\n",
+		"b.go": "package b\n",
+	})
+	if _, err := LoadPackageDir(dir, "fixture/multi"); err == nil {
+		t.Error("directory with two primary packages loaded as one")
+	}
+}
+
+func TestFindModuleRootWalksUp(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod":      testGoMod,
+		"deep/x/a.go": "package x\n",
+	})
+	root, err := FindModuleRoot(filepath.Join(dir, "deep", "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t.TempDir may itself sit under a symlink; compare resolved paths.
+	wantRoot, _ := filepath.EvalSymlinks(dir)
+	gotRoot, _ := filepath.EvalSymlinks(root)
+	if gotRoot != wantRoot {
+		t.Errorf("FindModuleRoot = %s, want %s", gotRoot, wantRoot)
+	}
+	if _, err := FindModuleRoot(string(filepath.Separator)); err == nil {
+		t.Error("FindModuleRoot at / found a go.mod")
+	}
+}

@@ -1,0 +1,268 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// loadFixtureModule loads one mini-module under testdata/mod. Fixture
+// modules carry their own go.mod so LoadModule resolves their internal
+// import paths exactly like the real module's.
+func loadFixtureModule(t *testing.T, name string) *Module {
+	t.Helper()
+	pkgs, err := LoadModule(filepath.Join("testdata", "mod", name))
+	if err != nil {
+		t.Fatalf("load fixture module %s: %v", name, err)
+	}
+	return NewModule(pkgs)
+}
+
+// runModuleFixture loads a testdata mini-module, runs one analyzer over
+// it with the given config, and checks the diagnostics exactly match
+// the fixture's `// want <check>` markers. Keys keep the last two path
+// elements so same-named files in different packages (cmd/*/main.go)
+// stay distinct. Returns the diagnostics for extra assertions.
+func runModuleFixture(t *testing.T, check, name string, cfg *Config) []Diagnostic {
+	t.Helper()
+	m := loadFixtureModule(t, name)
+	a := ByName(check)
+	if a == nil {
+		t.Fatalf("unknown check %q", check)
+	}
+	diags := m.Run([]*Analyzer{a}, cfg)
+
+	wants := make(map[string]string)
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, wantMarker) {
+						continue
+					}
+					wantCheck := strings.TrimSpace(strings.TrimPrefix(c.Text, wantMarker))
+					pos := pkg.Fset.Position(c.Pos())
+					wants[fmt.Sprintf("%s:%d", shortFile(pos.Filename), pos.Line)] = wantCheck
+				}
+			}
+		}
+	}
+	got := make(map[string][]string)
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", shortFile(d.Pos.Filename), d.Pos.Line)
+		got[key] = append(got[key], d.Check)
+	}
+	for key, wantCheck := range wants {
+		found := false
+		for _, c := range got[key] {
+			if c == wantCheck {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: want %s diagnostic, got none", key, wantCheck)
+		}
+	}
+	for key, checks := range got {
+		if _, ok := wants[key]; !ok {
+			t.Errorf("%s: unexpected %v diagnostic(s)", key, checks)
+		}
+	}
+	if t.Failed() {
+		for _, d := range diags {
+			t.Logf("diagnostic: %s", d)
+		}
+	}
+	return diags
+}
+
+// expboundaryFixtureConfig describes the expboundary mini-module: exp
+// is gated by its in-source marker, exp2 by this registry-declared
+// list.
+func expboundaryFixtureConfig() *Config {
+	return &Config{
+		ExperimentsPath: "example.com/expmod/experiments",
+		CommandPrefix:   "example.com/expmod/cmd/",
+		GatedPackages:   map[string]string{"example.com/expmod/exp2": "listed"},
+	}
+}
+
+func TestExpboundaryFixture(t *testing.T) {
+	diags := runModuleFixture(t, "expboundary", "expboundary", expboundaryFixtureConfig())
+	// Every expboundary finding is a direct edge: importer, then dep.
+	for _, d := range diags {
+		if len(d.Chain) != 2 {
+			t.Errorf("want 2-element chain, got %v", d.Chain)
+		}
+		if d.Scope != ScopeModule {
+			t.Errorf("want module scope, got %v", d.Scope)
+		}
+	}
+}
+
+// TestExpboundaryMarkerVsRegistry pins which gating mechanism caught
+// each package: the marker names the experiment, the registry list
+// names its own entry.
+func TestExpboundaryMarkerVsRegistry(t *testing.T) {
+	diags := runModuleFixture(t, "expboundary", "expboundary", expboundaryFixtureConfig())
+	var sawMarker, sawRegistry bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, `(experiment "turbo")`) {
+			sawMarker = true
+		}
+		if strings.Contains(d.Message, `(experiment "listed")`) {
+			sawRegistry = true
+		}
+	}
+	if !sawMarker {
+		t.Error("no diagnostic attributed to the //experiments:package marker")
+	}
+	if !sawRegistry {
+		t.Error("no diagnostic attributed to the registry-declared gated package")
+	}
+}
+
+func layeringFixtureConfig() *Config {
+	return &Config{
+		CommandPrefix: "example.com/layermod/cmd/",
+		Forbid: []ForbidRule{{
+			Name: "graph-below-core",
+			Why:  "foundation layers must stay reusable",
+			From: []string{"example.com/layermod/graph"},
+			To:   []string{"example.com/layermod/core"},
+		}},
+		CommandAllow: []string{"example.com/layermod/mid"},
+	}
+}
+
+func TestLayeringFixture(t *testing.T) {
+	diags := runModuleFixture(t, "layering", "layering", layeringFixtureConfig())
+	// The forbid violation is transitive: the chain must walk
+	// graph -> mid -> core even though graph never imports core directly.
+	wantChain := []string{
+		"example.com/layermod/graph",
+		"example.com/layermod/mid",
+		"example.com/layermod/core",
+	}
+	foundChain := false
+	for _, d := range diags {
+		if reflect.DeepEqual(d.Chain, wantChain) {
+			foundChain = true
+			if !strings.Contains(d.Message, "graph -> ") {
+				t.Errorf("chain missing from rendered message: %s", d.Message)
+			}
+		}
+	}
+	if !foundChain {
+		t.Errorf("no diagnostic carries the full transitive chain %v; got %v", wantChain, diags)
+	}
+}
+
+func TestAtomicmisuseFixture(t *testing.T) {
+	diags := runModuleFixture(t, "atomicmisuse", "atomicmisuse", nil)
+	// The cross-package finding must cite the atomic site in the other
+	// package and suggest the matching typed atomic.
+	var crossPkg bool
+	for _, d := range diags {
+		if strings.Contains(d.Pos.Filename, "reader") {
+			crossPkg = true
+			if !strings.Contains(d.Message, "counter/counter.go") {
+				t.Errorf("cross-package finding does not cite the atomic site: %s", d.Message)
+			}
+			if !strings.Contains(d.Message, "atomic.Int64") {
+				t.Errorf("finding does not suggest the typed atomic: %s", d.Message)
+			}
+		}
+	}
+	if !crossPkg {
+		t.Error("no cross-package atomicmisuse finding in the reader package")
+	}
+}
+
+func TestUnboundedgoroutineFixture(t *testing.T) {
+	runFixture(t, "unboundedgoroutine", "unboundedgoroutine", "fixture/unboundedgoroutine")
+}
+
+// TestModuleRunSingleLoad pins the engine's core property: running the
+// whole analyzer suite — file- and module-scoped — costs exactly one
+// LoadModule call. An analyzer that sneaks in its own load shows up as
+// a second increment.
+func TestModuleRunSingleLoad(t *testing.T) {
+	before := LoadCount()
+	pkgs, err := LoadModule(filepath.Join("testdata", "mod", "layering"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewModule(pkgs)
+	_ = m.Run(All(), layeringFixtureConfig())
+	_ = m.Run(All(), layeringFixtureConfig()) // re-running analyzers is load-free too
+	if got := LoadCount() - before; got != 1 {
+		t.Errorf("full analyzer suite cost %d loads, want exactly 1", got)
+	}
+}
+
+// TestModuleChain exercises BFS shortest-chain selection directly.
+func TestModuleChain(t *testing.T) {
+	m := loadFixtureModule(t, "layering")
+	chain := m.Chain("example.com/layermod/graph", func(p string) bool {
+		return p == "example.com/layermod/core"
+	})
+	want := []string{
+		"example.com/layermod/graph",
+		"example.com/layermod/mid",
+		"example.com/layermod/core",
+	}
+	if !reflect.DeepEqual(chain, want) {
+		t.Errorf("Chain = %v, want %v", chain, want)
+	}
+	if c := m.Chain("example.com/layermod/core", func(p string) bool { return true }); c != nil {
+		t.Errorf("leaf package should reach nothing, got %v", c)
+	}
+	// from itself never counts as a target: a chain is >= one import.
+	self := m.Chain("example.com/layermod/graph", func(p string) bool {
+		return p == "example.com/layermod/graph"
+	})
+	if self != nil {
+		t.Errorf("self-chain should be nil, got %v", self)
+	}
+}
+
+// TestModuleImportGraph checks the graph is module-internal only and
+// sorted.
+func TestModuleImportGraph(t *testing.T) {
+	m := loadFixtureModule(t, "expboundary")
+	deps := m.Imports("example.com/expmod/stable")
+	want := []string{"example.com/expmod/exp", "example.com/expmod/exp2"}
+	if !reflect.DeepEqual(deps, want) {
+		t.Errorf("Imports(stable) = %v, want %v", deps, want)
+	}
+	// sync/atomic and friends never appear: stdlib edges are filtered.
+	for _, p := range m.Paths() {
+		for _, dep := range m.Imports(p) {
+			if !strings.HasPrefix(dep, "example.com/") {
+				t.Errorf("non-module edge %s -> %s leaked into the graph", p, dep)
+			}
+		}
+	}
+}
+
+// TestGatedExperimentPrecedence: the in-source marker wins over the
+// registry-declared list.
+func TestGatedExperimentPrecedence(t *testing.T) {
+	m := loadFixtureModule(t, "expboundary")
+	cfg := &Config{GatedPackages: map[string]string{
+		"example.com/expmod/exp":  "overridden",
+		"example.com/expmod/exp2": "listed",
+	}}
+	if name, ok := m.GatedExperiment("example.com/expmod/exp", cfg); !ok || name != "turbo" {
+		t.Errorf("marker should win: got %q, %v", name, ok)
+	}
+	if name, ok := m.GatedExperiment("example.com/expmod/exp2", cfg); !ok || name != "listed" {
+		t.Errorf("registry gating: got %q, %v", name, ok)
+	}
+	if _, ok := m.GatedExperiment("example.com/expmod/stable", cfg); ok {
+		t.Error("stable package reported as gated")
+	}
+}

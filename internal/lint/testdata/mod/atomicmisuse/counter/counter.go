@@ -1,0 +1,33 @@
+// Package counter mixes atomic and plain access to the same field —
+// in-package for Hits, cross-package (see reader) for Total.
+package counter
+
+import "sync/atomic"
+
+// Stats is shared across goroutines.
+type Stats struct {
+	Hits  int64
+	Total int64
+	Done  uint32
+	local int64
+}
+
+// Record updates both counters atomically.
+func (s *Stats) Record(n int64) {
+	atomic.AddInt64(&s.Hits, 1)
+	atomic.AddInt64(&s.Total, n)
+}
+
+// Finish flips the flag atomically and is read atomically everywhere:
+// no diagnostic for Done.
+func (s *Stats) Finish()        { atomic.StoreUint32(&s.Done, 1) }
+func (s *Stats) Finished() bool { return atomic.LoadUint32(&s.Done) == 1 }
+
+// Snapshot reads Hits plainly in the same package as the atomic writes.
+func (s *Stats) Snapshot() int64 {
+	return s.Hits // want atomicmisuse
+}
+
+// Bump touches a field that is never accessed atomically: plain access
+// alone is not a finding.
+func (s *Stats) Bump() { s.local++ }

@@ -1,0 +1,3 @@
+module example.com/atommod
+
+go 1.22

@@ -1,0 +1,20 @@
+// Package reader reads a counter field plainly from outside the
+// package that updates it atomically — the cross-package race only a
+// module-wide pass can see.
+package reader
+
+import (
+	"sync/atomic"
+
+	"example.com/atommod/counter"
+)
+
+// Total reads the atomically-written field without the atomics.
+func Total(s *counter.Stats) int64 {
+	return s.Total // want atomicmisuse
+}
+
+// Hits does it right: same field, atomic load, no diagnostic.
+func Hits(s *counter.Stats) int64 {
+	return atomic.LoadInt64(&s.Hits)
+}

@@ -1,0 +1,15 @@
+// Command goodtool imports the experiments registry alongside the
+// gated package, so the runtime gate is checkable where the surface is
+// used — this is the blessed pattern.
+package main
+
+import (
+	"example.com/expmod/exp"
+	"example.com/expmod/experiments"
+)
+
+func main() {
+	if experiments.Enabled("turbo") {
+		_ = exp.Turbo()
+	}
+}

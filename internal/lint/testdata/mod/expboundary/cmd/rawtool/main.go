@@ -1,0 +1,7 @@
+// Command rawtool reaches an experimental package without importing
+// the registry, so nothing can gate the surface at the call site.
+package main
+
+import "example.com/expmod/exp" // want expboundary
+
+func main() { _ = exp.Turbo() }

@@ -1,0 +1,7 @@
+// Package exp is gated by the in-source marker.
+//
+//experiments:package turbo
+package exp
+
+// Turbo is the experimental surface.
+func Turbo() int { return 42 }

@@ -1,0 +1,8 @@
+// Package exp2 carries no marker; the fixture config lists it in
+// GatedPackages (the registry-declared path).
+package exp2
+
+import "example.com/expmod/exp" // gated importing gated is fine
+
+// Boost leans on the other experiment.
+func Boost() int { return exp.Turbo() * 2 }

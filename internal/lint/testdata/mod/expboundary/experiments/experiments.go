@@ -1,0 +1,7 @@
+// Package experiments is the fixture module's registry stand-in: a
+// command that imports it is assumed to gate its experimental surfaces
+// at the call site.
+package experiments
+
+// Enabled reports whether the named experiment is on.
+func Enabled(name string) bool { return false }

@@ -1,0 +1,3 @@
+module example.com/expmod
+
+go 1.22

@@ -1,0 +1,11 @@
+// Package stable promises compatibility and therefore must not reach
+// experimental code.
+package stable
+
+import (
+	"example.com/expmod/exp"  // want expboundary
+	"example.com/expmod/exp2" // want expboundary
+)
+
+// Leak drags two experimental surfaces into the stable API.
+func Leak() int { return exp.Turbo() + exp2.Boost() }

@@ -1,0 +1,13 @@
+// Command tool imports one blessed seam (mid) and one package that is
+// not on the allowlist (graph): only the latter is a violation.
+package main
+
+import (
+	"example.com/layermod/graph" // want layering
+	"example.com/layermod/mid"
+)
+
+func main() {
+	_ = graph.Build()
+	_ = mid.Glue()
+}

@@ -1,0 +1,6 @@
+// Package core is the top of the fixture's layer stack: nothing below
+// it may reach back up.
+package core
+
+// Orchestrate stands in for the run-everything layer.
+func Orchestrate() string { return "core" }

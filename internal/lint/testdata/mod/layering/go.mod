@@ -1,0 +1,3 @@
+module example.com/layermod
+
+go 1.22

@@ -1,0 +1,10 @@
+// Package graph is a foundation layer: the fixture's layer map forbids
+// it from reaching core. It has no direct core import — the violation
+// is transitive through mid, so the analyzer must walk the graph and
+// report the full chain, anchored at this import.
+package graph
+
+import "example.com/layermod/mid" // want layering
+
+// Build leans on mid, which leans on core: graph -> mid -> core.
+func Build() string { return mid.Glue() }

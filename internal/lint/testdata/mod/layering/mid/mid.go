@@ -1,0 +1,8 @@
+// Package mid sits between graph and core; its upward import is the
+// middle hop of the forbidden chain the fixture exercises.
+package mid
+
+import "example.com/layermod/core"
+
+// Glue forwards into the core layer.
+func Glue() string { return core.Orchestrate() }

@@ -1,0 +1,65 @@
+// Package unboundedgoroutine is the fixture for the unboundedgoroutine
+// check: per-iteration spawns with no bound are flagged; the fixed-width
+// pool and semaphore idioms are not.
+package unboundedgoroutine
+
+import "sync"
+
+// perItem spawns one goroutine per element: fan-out grows with the
+// input even though every goroutine is joined.
+func perItem(items []int) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func(it int) { // want unboundedgoroutine
+			defer wg.Done()
+			use(it)
+		}(it)
+	}
+	wg.Wait()
+}
+
+// fixedPool is the bounded idiom: the 3-clause counter loop caps the
+// spawns at n regardless of workload.
+func fixedPool(n int, jobs chan int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				use(j)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// semaphore is the other bounded idiom: the channel send blocks the
+// loop once the bound is reached.
+func semaphore(items []int) {
+	sem := make(chan struct{}, 4)
+	var wg sync.WaitGroup
+	for _, it := range items {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(it int) {
+			defer wg.Done()
+			use(it)
+			<-sem
+		}(it)
+	}
+	wg.Wait()
+}
+
+// condLoop spawns per iteration of a condition-only loop: the spawn
+// count depends on the predicate, not a declared bound.
+func condLoop(next func() bool, done chan struct{}) {
+	for next() {
+		go notify(done) // want unboundedgoroutine
+	}
+	<-done
+}
+
+func use(int)              {}
+func notify(chan struct{}) {}

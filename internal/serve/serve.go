@@ -24,7 +24,11 @@
 //     final obs manifest.
 //
 // Endpoints: POST /v1/score, GET /v1/characterize/{dataset},
-// GET /v1/datasets, GET /healthz, GET /metrics.
+// GET /v1/datasets, GET /v1/experiments, GET /healthz, GET /metrics.
+// /v1/experiments lists the experiments registry with this process's
+// per-run enablement (Options.Experiments, wired from -experiments), so
+// an operator can see which no-compatibility-promise surfaces a running
+// service has opted into.
 //
 // Determinism note: responses are pure functions of the request and the
 // suite's (scale, seed) — scores never depend on worker scheduling,
@@ -45,6 +49,7 @@ import (
 	"time"
 
 	"gpluscircles/internal/core"
+	"gpluscircles/internal/experiments"
 	"gpluscircles/internal/graph"
 	"gpluscircles/internal/obs"
 	"gpluscircles/internal/synth"
@@ -77,6 +82,10 @@ type Options struct {
 	// recorder: unlike the batch binaries the service always records,
 	// because /metrics is part of its API surface.
 	Recorder *obs.Recorder
+	// Experiments is the set of experiments this process was started
+	// with (the -experiments flag). Nil means none enabled; the set is
+	// reported by GET /v1/experiments.
+	Experiments experiments.Set
 
 	// workerHook, when set (tests only), runs in the worker goroutine
 	// after a call is dequeued and before it executes — the test lever
@@ -168,6 +177,7 @@ func NewServer(opts Options) (*Server, error) {
 	mux.HandleFunc("POST /v1/score", s.handleScore)
 	mux.HandleFunc("GET /v1/characterize/{dataset}", s.handleCharacterize)
 	mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
+	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux = mux
@@ -426,6 +436,30 @@ func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
 			info.Groups = append(info.Groups, grp.Name)
 		}
 		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// ExperimentInfo is one /v1/experiments entry: a registered experiment
+// and whether this process enabled it.
+type ExperimentInfo struct {
+	Name    string `json:"name"`
+	Doc     string `json:"doc"`
+	Enabled bool   `json:"enabled"`
+}
+
+// handleExperiments lists the experiments registry with the per-run
+// enablement, sorted by name (experiments.All's order).
+func (s *Server) handleExperiments(w http.ResponseWriter, _ *http.Request) {
+	s.mRequests.Inc()
+	all := experiments.All()
+	out := make([]ExperimentInfo, 0, len(all))
+	for _, exp := range all {
+		out = append(out, ExperimentInfo{
+			Name:    exp.Name,
+			Doc:     exp.Doc,
+			Enabled: s.opts.Experiments.Enabled(exp.Name),
+		})
 	}
 	writeJSON(w, http.StatusOK, out)
 }

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"gpluscircles/internal/core"
+	"gpluscircles/internal/experiments"
 	"gpluscircles/internal/obs"
 )
 
@@ -657,6 +658,56 @@ func TestListenAndServeBindError(t *testing.T) {
 	defer cancel()
 	if err := s.ListenAndServe(ctx, ln.Addr().String()); err == nil {
 		t.Error("ListenAndServe on a bound address returned nil error")
+	}
+}
+
+// TestExperimentsEndpoint: /v1/experiments lists the registry with the
+// per-run enablement from Options.Experiments.
+func TestExperimentsEndpoint(t *testing.T) {
+	enabled, err := experiments.ParseSet("scale-pipeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, opts := range map[string]Options{
+		"default": {},
+		"opted":   {Experiments: enabled},
+	} {
+		t.Run(name, func(t *testing.T) {
+			s := newTestServer(t, opts)
+			ts := httptest.NewServer(s.Handler())
+			defer ts.Close()
+			resp, err := ts.Client().Get(ts.URL + "/v1/experiments")
+			if err != nil {
+				t.Fatalf("get: %v", err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d", resp.StatusCode)
+			}
+			var infos []ExperimentInfo
+			if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+				t.Fatalf("unmarshal: %v", err)
+			}
+			if len(infos) != len(experiments.All()) {
+				t.Fatalf("listing has %d experiments, registry has %d", len(infos), len(experiments.All()))
+			}
+			var found bool
+			for _, info := range infos {
+				if info.Name != "scale-pipeline" {
+					continue
+				}
+				found = true
+				if info.Doc == "" {
+					t.Error("scale-pipeline listed without its doc line")
+				}
+				if want := opts.Experiments.Enabled("scale-pipeline"); info.Enabled != want {
+					t.Errorf("enabled = %v, want %v", info.Enabled, want)
+				}
+			}
+			if !found {
+				t.Error("scale-pipeline missing from the listing")
+			}
+		})
 	}
 }
 
