@@ -8,7 +8,7 @@ BENCHTIME ?= 1x
 # make profile output directory.
 PROFILE_DIR ?= profile
 
-.PHONY: all build test race vet lint analyze bench bench-scale scale-smoke profile fuzz cover-serve loadsmoke clean
+.PHONY: all build test race vet lint analyze bench bench-scale bench-tri scale-smoke profile fuzz cover-serve loadsmoke clean
 
 all: build vet lint test
 
@@ -41,7 +41,7 @@ lint:
 # chains without re-running the analysis.
 analyze: vet
 	@if [ -n "$(ANALYZE_JSON)" ]; then \
-		$(GO) run ./cmd/circlelint -json . > $(ANALYZE_JSON) || true; \
+		$(GO) run ./cmd/circlelint -json . > "$(ANALYZE_JSON)" || true; \
 		echo "analyze: findings recorded in $(ANALYZE_JSON)"; \
 	fi
 	$(GO) run ./cmd/circlelint .
@@ -72,6 +72,17 @@ SCALE_BENCH_OUT ?= BENCH_$(DATE)-scale.json
 bench-scale:
 	$(GO) test -run='^$$' -bench='ScalePipeline|LegacyBuilderBuild|StreamBuilder' \
 		-benchmem -benchtime=$(BENCHTIME) -timeout=120m -json . | tee $(SCALE_BENCH_OUT)
+
+# Record the triangle-kernel benchmarks: the oriented-DAG kernel (serial
+# + parallel + overlay sharing) against the pre-kernel baseline it
+# replaced, plus the cohesion scoring function on top. BENCHTIME=1x is a
+# smoke; raise it (e.g. BENCHTIME=2s) for the recorded runs compared
+# with `circlebench compare`. The kernel's steady-state benchmark must
+# report 0 allocs/op and beat the Naive baseline by >=3x ns/edge.
+TRI_BENCH_OUT ?= BENCH_$(DATE)-tri.json
+bench-tri:
+	$(GO) test -run='^$$' -bench='Triangle|Cohesion' \
+		-benchmem -benchtime=$(BENCHTIME) -json . | tee $(TRI_BENCH_OUT)
 
 # Profile one full circlebench run: CPU profile, heap profile, execution
 # trace, and the JSONL run manifest land in $(PROFILE_DIR). Inspect with

@@ -124,11 +124,16 @@ func deltaPct(oldV, newV float64) string {
 // all three classes so a thin intersection is visible at a glance.
 //
 // failOver > 0 arms the perf ratchet: an error is returned (so the
-// command exits non-zero) when any shared benchmark's ns/op regressed
-// by more than failOver percent. When the two files' benchenv lines
-// differ the breach is downgraded to an advisory note — deltas measured
-// on different runners reflect hardware, not code, and must not fail a
-// build.
+// command exits non-zero) when any shared benchmark's ns/op, B/op, or
+// allocs/op regressed by more than failOver percent. Memory metrics are
+// ratcheted only when both sides recorded them (-benchmem); a benchmark
+// that went from exactly 0 B/op or 0 allocs/op to a nonzero value is
+// always a breach — those zeros are design guarantees, not noise. When
+// the two files' benchenv lines differ every breach is downgraded to an
+// advisory note — deltas measured on different runners reflect hardware,
+// not code, and must not fail a build (allocation counts are
+// deterministic, but one consistent rule is easier to reason about than
+// a per-metric split).
 func runCompare(w io.Writer, oldPath, newPath string, failOver float64) error {
 	oldRes, oldEnv, err := parseBenchFile(oldPath)
 	if err != nil {
@@ -208,24 +213,46 @@ func runCompare(w io.Writer, oldPath, newPath string, failOver float64) error {
 		var regressed []string
 		for _, name := range common {
 			o, n := oldRes[name], newRes[name]
-			if o.NsPerOp <= 0 {
-				continue
+			if o.NsPerOp > 0 {
+				if pct := (n.NsPerOp - o.NsPerOp) / o.NsPerOp * 100; pct > failOver {
+					regressed = append(regressed, fmt.Sprintf("%s ns/op %+.1f%%", name, pct))
+				}
 			}
-			if pct := (n.NsPerOp - o.NsPerOp) / o.NsPerOp * 100; pct > failOver {
-				regressed = append(regressed, fmt.Sprintf("%s %+.1f%%", name, pct))
-			}
+			regressed = append(regressed, memBreach(name, "B/op", o.BPerOp, n.BPerOp, failOver)...)
+			regressed = append(regressed, memBreach(name, "allocs/op", o.AllocsOp, n.AllocsOp, failOver)...)
 		}
 		envMismatch := oldEnv != "" && newEnv != "" && oldEnv != newEnv
 		switch {
 		case len(regressed) == 0:
-			fmt.Fprintf(w, "fail-over: no shared benchmark regressed beyond %g%% ns/op\n", failOver)
+			fmt.Fprintf(w, "fail-over: no shared benchmark regressed beyond %g%% on ns/op, B/op, or allocs/op\n", failOver)
 		case envMismatch:
-			fmt.Fprintf(w, "advisory: %d benchmark(s) regressed beyond %g%% ns/op (%s) but the runner environments differ; not failing\n",
+			fmt.Fprintf(w, "advisory: %d metric(s) regressed beyond %g%% (%s) but the runner environments differ; not failing\n",
 				len(regressed), failOver, strings.Join(regressed, ", "))
 		default:
-			return fmt.Errorf("%d benchmark(s) regressed beyond %g%% ns/op: %s",
+			return fmt.Errorf("%d metric(s) regressed beyond %g%%: %s",
 				len(regressed), failOver, strings.Join(regressed, ", "))
 		}
+	}
+	return nil
+}
+
+// memBreach applies the ratchet to one memory metric of one benchmark.
+// A -1 sentinel on either side (recorded without -benchmem) skips the
+// check; 0 -> nonzero breaches regardless of the percentage threshold,
+// because a zero-allocation guarantee has no relative scale to regress
+// against.
+func memBreach(name, metric string, oldV, newV int64, failOver float64) []string {
+	if oldV < 0 || newV < 0 {
+		return nil
+	}
+	if oldV == 0 {
+		if newV > 0 {
+			return []string{fmt.Sprintf("%s %s 0 -> %d", name, metric, newV)}
+		}
+		return nil
+	}
+	if pct := float64(newV-oldV) / float64(oldV) * 100; pct > failOver {
+		return []string{fmt.Sprintf("%s %s %+.1f%%", name, metric, pct)}
 	}
 	return nil
 }

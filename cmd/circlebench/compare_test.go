@@ -216,6 +216,45 @@ func TestRunCompareFailOver(t *testing.T) {
 	}
 }
 
+// TestRunCompareFailOverMemory: the ratchet also covers B/op and
+// allocs/op — a memory regression beyond the threshold fails even when
+// ns/op improved, and a 0 -> nonzero allocation count breaches at any
+// threshold (a zero-allocation guarantee has no relative scale).
+func TestRunCompareFailOverMemory(t *testing.T) {
+	oldPath := writeBenchFile(t, "old.json",
+		`BenchmarkMem \t 1\t 1000 ns/op\t 1000 B/op\t 10 allocs/op\n`,
+		`BenchmarkZeroAlloc \t 1\t 100 ns/op\t 0 B/op\t 0 allocs/op\n`,
+		`BenchmarkNoMem \t 1\t 100 ns/op\n`,
+	)
+	newPath := writeBenchFile(t, "new.json",
+		`BenchmarkMem \t 1\t 500 ns/op\t 1500 B/op\t 10 allocs/op\n`, // ns/op -50%, B/op +50%
+		`BenchmarkZeroAlloc \t 1\t 100 ns/op\t 16 B/op\t 1 allocs/op\n`,
+		`BenchmarkNoMem \t 1\t 100 ns/op\t 4096 B/op\t 64 allocs/op\n`, // old side has no -benchmem columns
+	)
+	var sb strings.Builder
+	err := runCompare(&sb, oldPath, newPath, 10)
+	if err == nil {
+		t.Fatal("memory regressions passed a 10% ratchet")
+	}
+	for _, want := range []string{"BenchmarkMem B/op +50.0%", "BenchmarkZeroAlloc B/op 0 -> 16", "BenchmarkZeroAlloc allocs/op 0 -> 1"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("ratchet error missing %q: %v", want, err)
+		}
+	}
+	if strings.Contains(err.Error(), "BenchmarkNoMem") {
+		t.Errorf("-1 sentinel (no -benchmem side) must not breach: %v", err)
+	}
+	// The 0 -> nonzero breach survives any percentage threshold.
+	sb.Reset()
+	err = runCompare(&sb, oldPath, newPath, 1000)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkZeroAlloc") {
+		t.Errorf("0 -> nonzero allocation must breach a 1000%% ratchet: %v", err)
+	}
+	if err != nil && strings.Contains(err.Error(), "BenchmarkMem") {
+		t.Errorf("+50%% B/op must pass a 1000%% ratchet: %v", err)
+	}
+}
+
 // TestRunCompareFailOverEnvMismatch: a breach measured across different
 // runner environments is advisory, not fatal.
 func TestRunCompareFailOverEnvMismatch(t *testing.T) {

@@ -21,14 +21,16 @@
 // benchmark runs (the BENCH_*.json files produced by `make bench`, i.e.
 // `go test -json` streams) and prints per-benchmark ns/op, B/op, and
 // allocs/op deltas. With -fail-over=N it additionally exits non-zero
-// when any shared benchmark's ns/op regressed by more than N percent —
-// the perf ratchet for CI — unless the two runs' benchenv lines differ,
-// in which case the breach is downgraded to an advisory (cross-machine
-// deltas reflect hardware, not code). With one argument it summarizes a
-// run manifest: meta, per-experiment wall times, stage spans, and
-// hot-path counters.
+// when any shared benchmark's ns/op, B/op, or allocs/op regressed by
+// more than N percent (0 B/op or 0 allocs/op going nonzero always
+// breaches) — the perf ratchet for CI — unless the two runs' benchenv
+// lines differ, in which case the breach is downgraded to an advisory
+// (cross-machine deltas reflect hardware, not code). With one argument
+// it summarizes a run manifest: meta, per-experiment wall times, stage
+// spans, and hot-path counters.
 //
 // The fig6-scale experiment is gated behind -experiments=scale-pipeline
+// and the cohesion experiment behind -experiments=triangle-cohesion
 // (see internal/experiments); experimental surfaces carry no
 // compatibility promise.
 //
@@ -75,7 +77,7 @@ func run() error {
 	if len(os.Args) > 1 && os.Args[1] == "compare" {
 		fs := flag.NewFlagSet("compare", flag.ContinueOnError)
 		failOver := fs.Float64("fail-over", 0,
-			"exit non-zero when any shared benchmark's ns/op regresses by more than this percentage (0 = report only; env mismatch downgrades to advisory)")
+			"exit non-zero when any shared benchmark's ns/op, B/op, or allocs/op regresses by more than this percentage (0 = report only; env mismatch downgrades to advisory)")
 		if err := fs.Parse(os.Args[2:]); err != nil {
 			return err
 		}
@@ -115,12 +117,17 @@ func run() error {
 		return listExperiments(os.Stdout, *jsonOut)
 	}
 
-	// Selecting the paper-scale experiment explicitly requires the
-	// opt-in. Full paper runs are not gated: the registry order and the
-	// golden report depend on every experiment rendering, and the scale
-	// entry's laptop-scale default is cheap there.
-	if *experiment == "fig6-scale" {
+	// Selecting a gated experiment explicitly requires its opt-in. Full
+	// paper runs are not gated: the registry order and the golden report
+	// depend on every experiment rendering, and the gated entries'
+	// laptop-scale defaults are cheap there.
+	switch *experiment {
+	case "fig6-scale":
 		if err := exps.Require(experiments.ScalePipeline); err != nil {
+			return err
+		}
+	case "cohesion":
+		if err := exps.Require(experiments.TriangleCohesion); err != nil {
 			return err
 		}
 	}

@@ -85,6 +85,25 @@ func TestFig6ScaleOptIn(t *testing.T) {
 	}
 }
 
+// TestCohesionGated: the triangle-cohesion experiment needs the
+// -experiments=triangle-cohesion opt-in when selected explicitly, and
+// runs with it.
+func TestCohesionGated(t *testing.T) {
+	err := runWith(t, "-experiment", "cohesion", "-manifest", "")
+	var unavail experiments.UnavailableError
+	if !errors.As(err, &unavail) {
+		t.Fatalf("want UnavailableError, got %v", err)
+	}
+	if unavail.Name != "triangle-cohesion" {
+		t.Errorf("error names %q, want triangle-cohesion", unavail.Name)
+	}
+	err = runWith(t, "-experiments", "triangle-cohesion", "-scale", "0.1",
+		"-experiment", "cohesion", "-manifest", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunWithCSV(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "csv")
 	if err := runWith(t, "-scale", "0.1", "-experiment", "table3", "-csv", dir, "-manifest", ""); err != nil {

@@ -6,10 +6,16 @@
 // Usage:
 //
 //	circledetect [-directed] [-seed 1] [-min 3] [-v] /path/to/egodir
+//	circledetect -cohesion -experiments=triangle-cohesion /path/to/egodir
 //
 // The directory uses the McAuley–Leskovec format: <owner>.edges files
 // (and optional <owner>.circles files). cmd/synthgen plus
 // examples/fileio show how to produce such a directory synthetically.
+//
+// -cohesion adds a per-ego comparison of the mean triangle-density
+// cohesion of the curated circles against the detected ones. The score
+// is an experimental surface and requires the
+// -experiments=triangle-cohesion opt-in (see internal/experiments).
 package main
 
 import (
@@ -23,6 +29,8 @@ import (
 	"gpluscircles/internal/cliflag"
 	"gpluscircles/internal/dataset"
 	"gpluscircles/internal/detect"
+	"gpluscircles/internal/experiments"
+	"gpluscircles/internal/graph"
 	"gpluscircles/internal/report"
 	"gpluscircles/internal/score"
 )
@@ -40,10 +48,18 @@ func run() error {
 		seed     = cliflag.Seed(flag.CommandLine)
 		verbose  = cliflag.Verbose(flag.CommandLine)
 		minSize  = flag.Int("min", 3, "minimum detected-circle size")
+		cohesion = flag.Bool("cohesion", false,
+			"also report mean triangle-density cohesion of curated vs detected circles (requires -experiments=triangle-cohesion)")
+		exps = cliflag.Experiments(flag.CommandLine)
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		return errors.New("usage: circledetect [flags] /path/to/egodir")
+	}
+	if *cohesion {
+		if err := exps.Require(experiments.TriangleCohesion); err != nil {
+			return err
+		}
 	}
 
 	ed, err := dataset.LoadEgoDir(flag.Arg(0), *directed, *minSize)
@@ -58,9 +74,14 @@ func run() error {
 	rng := rand.New(rand.NewSource(*seed))
 	opts := detect.LabelPropagationOptions{MinCommunitySize: *minSize}
 
+	headers := []string{"Ego", "Alters", "Detected", "Truth circles", "Balanced F1"}
+	if *cohesion {
+		headers = append(headers, "Cohesion (truth)", "Cohesion (detected)")
+	}
 	tbl := report.NewTable(
-		fmt.Sprintf("Circle detection over %d ego networks", len(ds.EgoNets)),
-		"Ego", "Alters", "Detected", "Truth circles", "Balanced F1")
+		fmt.Sprintf("Circle detection over %d ego networks", len(ds.EgoNets)), headers...)
+	sctx := score.NewContext(ds.Graph)
+	set := graph.NewSet(ds.Graph.NumVertices())
 	var f1Sum float64
 	var evaluated int
 	for _, ego := range ds.EgoNets {
@@ -85,11 +106,15 @@ func run() error {
 			f1Sum += m.F1
 			evaluated++
 		}
-		tbl.AddRow(ego.Name,
-			report.FmtInt(int64(len(ego.Members)-1)),
+		row := []string{ego.Name,
+			report.FmtInt(int64(len(ego.Members) - 1)),
 			report.FmtInt(int64(len(detected))),
 			report.FmtInt(int64(len(truth))),
-			f1Cell)
+			f1Cell}
+		if *cohesion {
+			row = append(row, meanCohesionCell(sctx, set, truth), meanCohesionCell(sctx, set, detected))
+		}
+		tbl.AddRow(row...)
 	}
 	if err := tbl.Render(os.Stdout); err != nil {
 		return err
@@ -99,4 +124,25 @@ func run() error {
 			evaluated, f1Sum/float64(evaluated))
 	}
 	return nil
+}
+
+// meanCohesionCell renders the mean triangle-density cohesion of the
+// groups with at least 3 members, reusing one scratch set across rows;
+// "n/a" when no group is large enough to close a triangle.
+func meanCohesionCell(ctx *score.Context, set *graph.Set, groups []score.Group) string {
+	f := score.Cohesion()
+	var sum float64
+	var n int
+	for _, grp := range groups {
+		if len(grp.Members) < 3 {
+			continue
+		}
+		set.Fill(grp.Members)
+		sum += f.Eval(ctx, set, graph.Cut(ctx.G, set))
+		n++
+	}
+	if n == 0 {
+		return "n/a"
+	}
+	return report.Fmt(sum / float64(n))
 }

@@ -1,10 +1,13 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"gpluscircles/internal/experiments"
 )
 
 func runWith(t *testing.T, args ...string) error {
@@ -62,6 +65,24 @@ func itoa(v int) string {
 func TestRunDetect(t *testing.T) {
 	dir := writeEgoDir(t)
 	if err := runWith(t, dir); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunDetectCohesionGated: -cohesion is an experimental surface and
+// needs the -experiments=triangle-cohesion opt-in; with it, the run
+// succeeds and renders the extra columns.
+func TestRunDetectCohesionGated(t *testing.T) {
+	dir := writeEgoDir(t)
+	err := runWith(t, "-cohesion", dir)
+	var unavail experiments.UnavailableError
+	if !errors.As(err, &unavail) {
+		t.Fatalf("want UnavailableError, got %v", err)
+	}
+	if unavail.Name != "triangle-cohesion" {
+		t.Errorf("error names %q, want triangle-cohesion", unavail.Name)
+	}
+	if err := runWith(t, "-cohesion", "-experiments", "triangle-cohesion", dir); err != nil {
 		t.Fatal(err)
 	}
 }

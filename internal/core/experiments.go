@@ -55,6 +55,7 @@ func Experiments() []Experiment {
 		{ID: "extension-localcomm", Title: "Extension: curated circles vs. optimal local communities (conductance sweep)", Run: runLocalComm},
 		{ID: "extension-homophily", Title: "Extension: feature homophily of circles (McAuley–Leskovec premise)", Run: runHomophily},
 		{ID: "fig6-scale", Title: "Fig. 6 at paper scale: streaming-pipeline community data set", Run: runFig6Scale},
+		{ID: "cohesion", Title: "Extension: triangle-density cohesion of circles vs. null models", Run: runCohesion},
 		{ID: "scorecard", Title: "Reproduction scorecard: every headline claim, machine-checked", Run: runScorecard},
 		{ID: "robustness", Title: "Scorecard robustness across independent seeds", Run: runRobustness},
 	}

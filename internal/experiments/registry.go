@@ -11,6 +11,16 @@ var (
 	// seed mapping may change between commits.
 	ScalePipeline = Register("scale-pipeline",
 		"paper-scale streaming community data set (synthgen -dataset scale, circlebench -experiment fig6-scale)")
+
+	// TriangleCohesion gates the triangle-density scoring surface: the
+	// `cohesion` scoring function over HTTP and in the explicit
+	// circlebench/circledetect selections. The kernel itself (graphalgo)
+	// and the registry-driven full runs are stable; the gate marks the
+	// score's null-model calibration (analytic vs empirical triangle
+	// expectation) as still settling, so its HTTP and CLI opt-in surface
+	// may change between commits.
+	TriangleCohesion = Register("triangle-cohesion",
+		"triangle-density cohesion scoring (score func \"cohesion\", circlebench -experiment cohesion, circledetect -cohesion)")
 )
 
 func init() {

@@ -1,7 +1,6 @@
 package graphalgo
 
 import (
-	"fmt"
 	"math/rand"
 
 	"gpluscircles/internal/graph"
@@ -14,131 +13,151 @@ import (
 // measurement studies the paper compares against (a link in either
 // direction connects two neighbours). Vertices of degree < 2 have
 // coefficient 0.
+//
+// The sweep enumerates each triangle once on the cached oriented DAG
+// (see TriangleKernelOf) and credits all three corners, so directed
+// graphs are no longer materialized as a projected copy per call.
 func LocalClustering(g *graph.Graph) ([]float64, error) {
-	u := g
-	if g.Directed() {
-		var err error
-		u, err = graph.Undirected(g)
-		if err != nil {
-			return nil, fmt.Errorf("clustering projection: %w", err)
+	k := TriangleKernelOf(g)
+	d, release := k.dagFor(g)
+	n := k.n
+	counts := make([]int64, n) // triangles through each vertex, rank space
+	for r := 0; r < n; r++ {
+		row := d.adj[d.off[r]:d.off[r+1]]
+		for i, a := range row {
+			rest := row[i+1:]
+			if len(rest) == 0 {
+				break
+			}
+			rowA := d.row(a)
+			i2, j2 := 0, 0
+			for i2 < len(rest) && j2 < len(rowA) {
+				x, y := rest[i2], rowA[j2]
+				if x == y {
+					counts[r]++
+					counts[a]++
+					counts[x]++
+					i2++
+					j2++
+					continue
+				}
+				if x < y {
+					i2++
+				} else {
+					j2++
+				}
+			}
 		}
 	}
-	n := u.NumVertices()
 	out := make([]float64, n)
-	marked := graph.NewSet(n)
-	for v := 0; v < n; v++ {
-		out[v] = localCC(u, graph.VID(v), marked)
+	for r, links := range counts {
+		v := k.order[r]
+		deg := int(d.udeg[v])
+		if deg < 2 {
+			continue
+		}
+		out[v] = 2 * float64(links) / (float64(deg) * float64(deg-1))
+	}
+	if release != nil {
+		release()
 	}
 	return out, nil
 }
 
 // SampledClustering computes local clustering coefficients for `samples`
-// uniformly chosen vertices (without replacement when samples >= n it
+// uniformly chosen vertices (without replacement; when samples >= n it
 // degrades to the full computation).
+//
+// Vertex selection uses a sparse partial Fisher–Yates shuffle: only the
+// first `samples` draws of the permutation are realized, so picking a few
+// hundred vertices out of millions no longer allocates (or shuffles) an
+// n-entry permutation. The draw sequence differs from the historical
+// rng.Perm(n) implementation — a seeded caller sees a different (still
+// uniform, still deterministic) vertex subset than before, with identical
+// per-vertex coefficients.
 func SampledClustering(g *graph.Graph, samples int, rng *rand.Rand) ([]float64, error) {
 	if rng == nil {
 		return nil, ErrNoRNG
 	}
-	if samples >= g.NumVertices() {
+	n := g.NumVertices()
+	if samples >= n {
 		return LocalClustering(g)
 	}
-	u := g
-	if g.Directed() {
-		var err error
-		u, err = graph.Undirected(g)
-		if err != nil {
-			return nil, fmt.Errorf("clustering projection: %w", err)
-		}
-	}
-	n := u.NumVertices()
-	perm := rng.Perm(n)[:samples]
+	picks := partialPerm(n, samples, rng)
 	out := make([]float64, 0, samples)
-	marked := graph.NewSet(n)
-	for _, v := range perm {
-		out = append(out, localCC(u, graph.VID(v), marked))
+	s := triScratchPool.Get().(*triScratch)
+	for _, v := range picks {
+		out = append(out, localCCView(g, v, s))
 	}
+	triScratchPool.Put(s)
 	return out, nil
 }
 
-// localCC computes the local clustering coefficient of v in an undirected
-// graph, reusing the caller's scratch set.
-func localCC(u *graph.Graph, v graph.VID, marked *graph.Set) float64 {
-	adj := u.OutNeighbors(v)
-	k := len(adj)
-	if k < 2 {
+// partialPerm draws the first `samples` entries of a uniform permutation
+// of [0, n) with a sparse Fisher–Yates: displaced slots live in a small
+// map instead of an n-entry array, so cost is O(samples), not O(n).
+func partialPerm(n, samples int, rng *rand.Rand) []graph.VID {
+	swapped := make(map[int]int, samples)
+	at := func(i int) int {
+		if j, ok := swapped[i]; ok {
+			return j
+		}
+		return i
+	}
+	out := make([]graph.VID, samples)
+	for i := 0; i < samples; i++ {
+		j := i + rng.Intn(n-i)
+		out[i] = graph.VID(at(j))
+		swapped[j] = at(i)
+	}
+	return out
+}
+
+// localCCView computes the local clustering coefficient of x on the
+// undirected projection of v with sorted-row intersections: for each
+// neighbour a, the common neighbours beyond a close one linked pair each.
+func localCCView(v graph.View, x graph.VID, s *triScratch) float64 {
+	row := undirRow(v, x, &s.a)
+	deg := len(row)
+	if deg < 2 {
 		return 0
 	}
-	marked.Fill(adj)
 	var links int64
-	for _, a := range adj {
-		for _, w := range u.OutNeighbors(a) {
-			if w > a && marked.Contains(w) {
-				links++
-			}
+	for i, a := range row {
+		rest := row[i+1:]
+		if len(rest) == 0 {
+			break
 		}
+		links += intersectCount(rest, undirRow(v, a, &s.b))
 	}
-	marked.Clear()
-	return 2 * float64(links) / (float64(k) * float64(k-1))
+	return 2 * float64(links) / (float64(deg) * float64(deg-1))
 }
 
 // TriangleCount returns the number of triangles in the undirected
-// projection of g using the forward algorithm (neighbour marking with
-// the canonical w > a > ordering), O(m^{3/2}) on sparse graphs.
+// projection of g, counted on the cached oriented DAG (TriangleKernelOf).
+// Repeated calls against the same graph are allocation-free; the error
+// return is kept for call-site compatibility and is always nil.
 func TriangleCount(g *graph.Graph) (int64, error) {
-	u := g
-	if g.Directed() {
-		var err error
-		u, err = graph.Undirected(g)
-		if err != nil {
-			return 0, fmt.Errorf("triangle projection: %w", err)
-		}
-	}
-	n := u.NumVertices()
-	marked := graph.NewSet(n)
-	var triangles int64
-	for v := 0; v < n; v++ {
-		adj := u.OutNeighbors(graph.VID(v))
-		// Only count triangles whose smallest vertex is v.
-		marked.Clear()
-		for _, a := range adj {
-			if a > graph.VID(v) {
-				marked.Add(a)
-			}
-		}
-		for _, a := range adj {
-			if a <= graph.VID(v) {
-				continue
-			}
-			for _, w := range u.OutNeighbors(a) {
-				if w > a && marked.Contains(w) {
-					triangles++
-				}
-			}
-		}
-	}
-	return triangles, nil
+	return TriangleCountView(g, 1), nil
 }
 
 // GlobalClustering returns the transitivity of the undirected projection:
 // 3 * triangles / open-plus-closed triads, or 0 for graphs without any
-// path of length two.
+// path of length two. Projection and orientation happen once per graph —
+// the cached DAG supplies both the triangle count and the projection
+// degrees, so directed graphs are no longer projected per call (let alone
+// twice, as the pre-kernel implementation did).
 func GlobalClustering(g *graph.Graph) (float64, error) {
-	u := g
-	if g.Directed() {
-		var err error
-		u, err = graph.Undirected(g)
-		if err != nil {
-			return 0, fmt.Errorf("transitivity projection: %w", err)
-		}
-	}
-	tri, err := TriangleCount(u)
-	if err != nil {
-		return 0, err
-	}
+	k := TriangleKernelOf(g)
+	d, release := k.dagFor(g)
+	tri := k.count(d, 1)
 	var triads int64
-	for v := 0; v < u.NumVertices(); v++ {
-		k := int64(u.Degree(graph.VID(v)))
-		triads += k * (k - 1) / 2
+	for _, deg := range d.udeg[:k.n] {
+		kk := int64(deg)
+		triads += kk * (kk - 1) / 2
+	}
+	if release != nil {
+		release()
 	}
 	if triads == 0 {
 		return 0, nil

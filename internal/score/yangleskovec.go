@@ -20,6 +20,7 @@ func ExtendedFuncs() []Func {
 		FlakeODF(),
 		Separability(),
 		SetClustering(),
+		Cohesion(),
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 
+	"gpluscircles/internal/experiments"
 	"gpluscircles/internal/graph"
 	"gpluscircles/internal/nullmodel"
 	"gpluscircles/internal/score"
@@ -189,6 +190,16 @@ func (s *Server) resolveScore(r *http.Request) (*scoreJob, *httpErr) {
 	fns, err := score.ByName(req.Funcs...)
 	if err != nil {
 		return nil, badRequest("%v", err)
+	}
+	for _, f := range fns {
+		// The triangle-density score is an experimental surface: its
+		// null-model calibration is still settling (experiments registry),
+		// so requests must opt in when the server was launched with it.
+		if f.Name == "cohesion" {
+			if err := s.opts.Experiments.Require(experiments.TriangleCohesion); err != nil {
+				return nil, badRequest("%v", err)
+			}
+		}
 	}
 
 	return &scoreJob{

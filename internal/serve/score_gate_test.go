@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"gpluscircles/internal/experiments"
+)
+
+// TestScoreCohesionGate: the triangle-density score is an experimental
+// surface — requesting it without -experiments=triangle-cohesion must be
+// a 400 pointing at the opt-in, and with the opt-in it must score.
+func TestScoreCohesionGate(t *testing.T) {
+	group, _ := firstGroup(t, "gplus")
+	req := ScoreRequest{Dataset: "gplus", Group: group, Funcs: []string{"cohesion"}}
+
+	t.Run("gated", func(t *testing.T) {
+		s := newTestServer(t, Options{})
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		status, body, _ := postScore(t, ts.Client(), ts.URL, req)
+		if status != http.StatusBadRequest {
+			t.Fatalf("status = %d, want %d (body %s)", status, http.StatusBadRequest, body)
+		}
+		if !strings.Contains(string(body), "triangle-cohesion") {
+			t.Errorf("error does not name the opt-in: %s", body)
+		}
+	})
+
+	t.Run("opted", func(t *testing.T) {
+		enabled, err := experiments.ParseSet("triangle-cohesion")
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := newTestServer(t, Options{Experiments: enabled})
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		status, body, _ := postScore(t, ts.Client(), ts.URL, req)
+		if status != http.StatusOK {
+			t.Fatalf("status = %d, want 200 (body %s)", status, body)
+		}
+		var resp ScoreResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		c, ok := resp.Scores["cohesion"]
+		if !ok {
+			t.Fatalf("cohesion missing from scores: %s", body)
+		}
+		if c < 0 || c > 1 {
+			t.Errorf("cohesion %v outside [0,1]", c)
+		}
+		// The other paper functions stay available alongside the gated one.
+		both := ScoreRequest{Dataset: "gplus", Group: group, Funcs: []string{"conductance", "cohesion"}}
+		if status, body, _ := postScore(t, ts.Client(), ts.URL, both); status != http.StatusOK {
+			t.Errorf("mixed funcs: status %d, body %s", status, body)
+		}
+	})
+}
