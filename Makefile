@@ -45,7 +45,7 @@ analyze: vet
 		echo "analyze: findings recorded in $(ANALYZE_JSON)"; \
 	fi
 	$(GO) run ./cmd/circlelint .
-	$(GO) test -race -count=1 ./internal/lint/ ./internal/experiments/ ./internal/serve/
+	$(GO) test -race -count=1 ./internal/lint/ ./internal/experiments/ ./internal/serve/... ./cmd/circlerouter/
 
 # Emits machine-readable benchmark records (one JSON event per line) so
 # runs on different machines/dates can be diffed with benchstat-style
@@ -116,8 +116,11 @@ cover-serve:
 		if ($$3+0 < 80) { printf "internal/serve coverage %s%% is below the 80%% floor\n", $$3; exit 1 } \
 		printf "internal/serve coverage %s%% (floor 80%%)\n", $$3 }'
 
-# End-to-end load smoke: circled under 100 concurrent circleload
-# clients, zero 5xx, clean SIGTERM drain, parseable final manifest.
+# End-to-end load smoke, two legs: (1) circled under 100 concurrent
+# circleload clients — zero 5xx, result-cache hits under a -dup mix,
+# clean SIGTERM drain, parseable final manifest; (2) a 2-backend
+# circlerouter replaying NDJSON batches with one backend killed
+# mid-run — the router must fail over with zero client-visible 5xx.
 loadsmoke:
 	LOADSMOKE_DIR=$(LOADSMOKE_DIR) ./scripts/loadsmoke.sh
 

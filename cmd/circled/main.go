@@ -5,14 +5,16 @@
 // Usage:
 //
 //	circled [-addr :8779] [-scale 1.0] [-seed 1] [-workers 0]
-//	        [-queue 64] [-timeout 30s] [-drain-timeout 10s]
+//	        [-queue 64] [-cache 1024] [-timeout 30s] [-drain-timeout 10s]
 //	        [-max-null-samples 128] [-manifest circled.manifest.jsonl]
 //	        [-experiments a,b] [-warm] [-v]
 //
-// Endpoints:
+// Endpoints (wire contract in internal/serve/api):
 //
 //	POST /v1/score                  score a circle/community or an
 //	                                arbitrary node set (by external IDs)
+//	POST /v1/score/batch            NDJSON batch scoring (gated as the
+//	                                batch-scoring experiment)
 //	GET  /v1/characterize/{dataset} Table II-style graph profile (cached)
 //	GET  /v1/datasets               data-set + group inventory
 //	GET  /v1/experiments            experiments registry + per-run enablement
@@ -22,12 +24,14 @@
 // The service runs a bounded worker pool with explicit backpressure
 // (429 + Retry-After once the queue bound is hit), coalesces identical
 // in-flight requests (one execution per unique query, counted in
-// /metrics as serve.coalesced), and drains gracefully on SIGTERM or
-// SIGINT: the listener stops accepting, in-flight work finishes, and a
-// final run manifest (JSONL, same schema as circlebench's) is flushed
-// to -manifest. Responses are deterministic for a given (scale, seed):
-// the same query always returns the same bytes, which is what makes
-// coalescing sound.
+// /metrics as serve.coalesced), keeps a bounded LRU result cache in
+// front of the pool (-cache entries; hits/misses/evictions in
+// /metrics), and drains gracefully on SIGTERM or SIGINT: the listener
+// stops accepting, in-flight work finishes, and a final run manifest
+// (JSONL, same schema as circlebench's) is flushed to -manifest.
+// Responses are deterministic for a given (scale, seed): the same query
+// always returns the same bytes, which is what makes coalescing and
+// caching sound.
 package main
 
 import (
@@ -63,6 +67,7 @@ func run() error {
 		workers        = cliflag.Workers(flag.CommandLine)
 		verbose        = cliflag.Verbose(flag.CommandLine)
 		queueDepth     = flag.Int("queue", 64, "accepted-but-unstarted request bound; a full queue sheds load with 429")
+		cacheSize      = flag.Int("cache", 1024, "result-cache entry bound (negative disables the cache)")
 		timeout        = flag.Duration("timeout", 30*time.Second, "per-request deadline, queue wait included")
 		drainTimeout   = flag.Duration("drain-timeout", 10*time.Second, "graceful-drain bound after SIGTERM")
 		maxNullSamples = flag.Int("max-null-samples", 128, "cap on the per-request null_samples parameter")
@@ -104,6 +109,7 @@ func run() error {
 		Suite:          suite,
 		Workers:        *workers,
 		QueueDepth:     *queueDepth,
+		CacheSize:      *cacheSize,
 		RequestTimeout: *timeout,
 		DrainTimeout:   *drainTimeout,
 		MaxNullSamples: *maxNullSamples,

@@ -1,22 +1,33 @@
 // Command circleload is the load generator for circled: it replays a
 // synthetic mix of /v1/score requests against a running service and
-// reports latency quantiles and error rates, so the service has a
-// measurable SLO from day one.
+// reports latency quantiles, error rates and cache effectiveness, so
+// the service has a measurable SLO from day one.
 //
 // Usage:
 //
 //	circleload [-addr http://127.0.0.1:8779] [-n 200] [-c 8]
 //	           [-seed 1] [-dup 0.25] [-null-samples 0]
+//	           [-batch] [-batch-size 64]
 //	           [-timeout 30s] [-json] [-v]
 //
 // The mix is built from the service's own GET /v1/datasets inventory:
 // each request scores a randomly chosen (dataset, group) pair, and with
 // probability -dup repeats the previous request verbatim to exercise
-// the server's coalescing path. The report covers client-side p50/p95/
-// p99/max latency of successful requests, the response-class breakdown
-// (2xx / 429 shed / other 4xx / 5xx / transport errors), observed
-// X-Coalesced responses, and — read back from GET /metrics — the
-// server-side serve/score timer quantiles and serve.coalesced counter.
+// the server's coalescing and result-cache paths. In the default unary
+// mode every request is one POST /v1/score; with -batch the same mix is
+// replayed as NDJSON chunks of -batch-size lines through POST
+// /v1/score/batch (the server must run with -experiments=batch-scoring),
+// which is how millions of requests are replayed without paying a round
+// trip each.
+//
+// The report covers client-side p50/p95/p99/max latency of successful
+// requests (in batch mode, time until each line's result was read), the
+// response-class breakdown (2xx / 429 shed / other 4xx / 5xx /
+// transport errors), observed X-Coalesced and cache-hit responses, and
+// — read back from GET /metrics — the server-side serve/score timer
+// quantiles, the serve.coalesced counter and the
+// serve.cache.{hits,misses,evictions} counters with the derived hit
+// rate.
 //
 // Exit status is non-zero when any 5xx or transport error was observed,
 // so CI can assert the zero-5xx SLO with the exit code alone; 429s are
@@ -24,6 +35,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -38,7 +50,7 @@ import (
 
 	"gpluscircles/internal/cliflag"
 	"gpluscircles/internal/obs"
-	"gpluscircles/internal/serve"
+	"gpluscircles/internal/serve/api"
 )
 
 func main() {
@@ -55,11 +67,13 @@ type target struct {
 }
 
 // result is one request's outcome: the HTTP status (0 for transport
-// errors), whether the response was served from a coalesced call, and
-// the client-observed latency.
+// errors or lines the server never answered), whether the response was
+// coalesced or served from the result cache, and the client-observed
+// latency.
 type result struct {
 	status    int
 	coalesced bool
+	cached    bool
 	latency   time.Duration
 }
 
@@ -71,13 +85,18 @@ func run() error {
 		seed        = cliflag.Seed(flag.CommandLine)
 		jsonOut     = cliflag.JSON(flag.CommandLine)
 		verbose     = cliflag.Verbose(flag.CommandLine)
-		dup         = flag.Float64("dup", 0.25, "probability of repeating the previous request (exercises coalescing)")
+		dup         = flag.Float64("dup", 0.25, "probability of repeating the previous request (exercises coalescing and the result cache)")
 		nullSamples = flag.Int("null-samples", 0, "null_samples parameter sent with every request")
+		batch       = flag.Bool("batch", false, "replay through POST /v1/score/batch as NDJSON chunks")
+		batchSize   = flag.Int("batch-size", 64, "lines per batch request (with -batch)")
 		timeout     = flag.Duration("timeout", 30*time.Second, "per-request client timeout")
 	)
 	flag.Parse()
 	if *n <= 0 || *c <= 0 {
 		return fmt.Errorf("-n and -c must be positive")
+	}
+	if *batch && *batchSize <= 0 {
+		return fmt.Errorf("-batch-size must be positive")
 	}
 
 	client := &http.Client{Timeout: *timeout}
@@ -99,7 +118,7 @@ func run() error {
 			continue
 		}
 		t := targets[rng.Intn(len(targets))]
-		req := serve.ScoreRequest{
+		req := api.ScoreRequest{
 			Dataset:     t.dataset,
 			Group:       t.group,
 			NullSamples: *nullSamples,
@@ -113,33 +132,64 @@ func run() error {
 	}
 
 	results := make([]result, *n)
-	next := make(chan int)
-	var wg sync.WaitGroup
 	workers := *c
 	if workers > *n {
 		workers = *n
 	}
+	var wg sync.WaitGroup
 	start := obs.Now()
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				results[i] = fire(client, *addr, bodies[i])
+	if *batch {
+		// Each chunk owns a disjoint slice of results, so workers write
+		// without coordination.
+		type chunk struct{ base, end int }
+		chunks := make(chan chunk)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ch := range chunks {
+					fireBatch(client, *addr, bodies[ch.base:ch.end], results[ch.base:ch.end])
+				}
+			}()
+		}
+		for base := 0; base < *n; base += *batchSize {
+			end := base + *batchSize
+			if end > *n {
+				end = *n
 			}
-		}()
+			chunks <- chunk{base, end}
+		}
+		close(chunks)
+	} else {
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					results[i] = fire(client, *addr, bodies[i])
+				}
+			}()
+		}
+		for i := 0; i < *n; i++ {
+			next <- i
+		}
+		close(next)
 	}
-	for i := 0; i < *n; i++ {
-		next <- i
-	}
-	close(next)
 	wg.Wait()
 	wall := obs.Since(start)
 
 	rep := summarize(results, workers, wall)
+	rep.Batch = *batch
+	if *batch {
+		rep.BatchSize = *batchSize
+	}
 	attachServerMetrics(client, *addr, &rep)
 	if err := render(os.Stdout, &rep, *jsonOut); err != nil {
 		return err
+	}
+	if *batch && rep.OK == 0 && rep.Client4xx > 0 {
+		return fmt.Errorf("every batch line was rejected — is the server running with -experiments=batch-scoring?")
 	}
 	if rep.Server5xx > 0 || rep.Transport > 0 {
 		return fmt.Errorf("%d 5xx and %d transport errors observed", rep.Server5xx, rep.Transport)
@@ -157,7 +207,7 @@ func fetchTargets(client *http.Client, addr string) ([]target, error) {
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("inventory: %s", resp.Status)
 	}
-	var infos []serve.DatasetInfo
+	var infos []api.DatasetInfo
 	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
 		return nil, fmt.Errorf("inventory: %w", err)
 	}
@@ -185,7 +235,47 @@ func fire(client *http.Client, addr string, body []byte) result {
 	return result{
 		status:    resp.StatusCode,
 		coalesced: resp.Header.Get("X-Coalesced") == "true",
+		cached:    resp.Header.Get("X-Cache") == "hit",
 		latency:   obs.Since(start),
+	}
+}
+
+// fireBatch replays one chunk of the mix through /v1/score/batch and
+// scatters the per-line outcomes into out (out[i] matches lines[i] via
+// the BatchLine index). Lines the server never answered — a truncated
+// stream after an index -1 terminal error, or a transport failure —
+// keep status 0 and classify as transport errors, so a batch replay
+// holds the same zero-loss bar as unary.
+func fireBatch(client *http.Client, addr string, lines [][]byte, out []result) {
+	start := obs.Now()
+	body := bytes.Join(lines, []byte("\n"))
+	resp, err := client.Post(addr+"/v1/score/batch", api.NDJSONContentType, bytes.NewReader(body))
+	if err != nil {
+		for i := range out {
+			out[i] = result{status: 0, latency: obs.Since(start)}
+		}
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// Chunk-level rejection (gated, draining): every line shares it.
+		_, _ = io.Copy(io.Discard, resp.Body)
+		for i := range out {
+			out[i] = result{status: resp.StatusCode, latency: obs.Since(start)}
+		}
+		return
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		var bl api.BatchLine
+		if err := json.Unmarshal(sc.Bytes(), &bl); err != nil {
+			continue
+		}
+		if bl.Index < 0 || bl.Index >= len(out) {
+			continue
+		}
+		out[bl.Index] = result{status: bl.Status, cached: bl.Cached, latency: obs.Since(start)}
 	}
 }
 
@@ -201,6 +291,8 @@ type Quantiles struct {
 type Report struct {
 	Requests    int     `json:"requests"`
 	Concurrency int     `json:"concurrency"`
+	Batch       bool    `json:"batch"`
+	BatchSize   int     `json:"batch_size,omitempty"`
 	WallSeconds float64 `json:"wall_seconds"`
 	Throughput  float64 `json:"throughput_rps"`
 
@@ -210,12 +302,17 @@ type Report struct {
 	Server5xx int `json:"server_5xx"`
 	Transport int `json:"transport_errors"`
 	Coalesced int `json:"coalesced_responses"`
+	Cached    int `json:"cached_responses"`
 
 	LatencyMs Quantiles `json:"latency_ms"`
 
 	// Server-side view, read back from /metrics after the run.
-	ServerScoreMs   *Quantiles `json:"server_score_ms,omitempty"`
-	ServerCoalesced int64      `json:"server_coalesced"`
+	ServerScoreMs        *Quantiles `json:"server_score_ms,omitempty"`
+	ServerCoalesced      int64      `json:"server_coalesced"`
+	ServerCacheHits      int64      `json:"server_cache_hits"`
+	ServerCacheMisses    int64      `json:"server_cache_misses"`
+	ServerCacheEvictions int64      `json:"server_cache_evictions"`
+	ServerCacheHitRate   float64    `json:"server_cache_hit_rate"`
 }
 
 // summarize aggregates the per-request outcomes.
@@ -241,6 +338,9 @@ func summarize(results []result, workers int, wall time.Duration) Report {
 		}
 		if r.coalesced {
 			rep.Coalesced++
+		}
+		if r.cached {
+			rep.Cached++
 		}
 	}
 	rep.LatencyMs = exactQuantiles(okLat)
@@ -268,8 +368,8 @@ func exactQuantiles(ms []float64) Quantiles {
 }
 
 // attachServerMetrics reads /metrics and folds the server-side score
-// timer and coalescing counter into the report (best effort: a missing
-// or unreadable endpoint leaves the fields empty).
+// timer, coalescing counter and cache counters into the report (best
+// effort: a missing or unreadable endpoint leaves the fields empty).
 func attachServerMetrics(client *http.Client, addr string, rep *Report) {
 	resp, err := client.Get(addr + "/metrics")
 	if err != nil {
@@ -279,13 +379,17 @@ func attachServerMetrics(client *http.Client, addr string, rep *Report) {
 	if resp.StatusCode != http.StatusOK {
 		return
 	}
-	var payload struct {
-		Metrics obs.Snapshot `json:"metrics"`
-	}
+	var payload api.MetricsResponse
 	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
 		return
 	}
 	rep.ServerCoalesced = payload.Metrics.Counters["serve.coalesced"]
+	rep.ServerCacheHits = payload.Metrics.Counters["serve.cache.hits"]
+	rep.ServerCacheMisses = payload.Metrics.Counters["serve.cache.misses"]
+	rep.ServerCacheEvictions = payload.Metrics.Counters["serve.cache.evictions"]
+	if total := rep.ServerCacheHits + rep.ServerCacheMisses; total > 0 {
+		rep.ServerCacheHitRate = float64(rep.ServerCacheHits) / float64(total)
+	}
 	if ts, ok := payload.Metrics.Timers["serve/score"]; ok && ts.Count > 0 {
 		rep.ServerScoreMs = &Quantiles{
 			P50: ts.QuantileNs(0.50) / 1e6,
@@ -303,12 +407,19 @@ func render(w io.Writer, rep *Report, jsonOut bool) error {
 		enc.SetIndent("", "  ")
 		return enc.Encode(rep)
 	}
-	fmt.Fprintf(w, "requests:    %d (concurrency %d) in %.2fs — %.1f req/s\n",
-		rep.Requests, rep.Concurrency, rep.WallSeconds, rep.Throughput)
+	unit := "req/s"
+	if rep.Batch {
+		unit = "lines/s"
+		fmt.Fprintf(w, "mode:        batch (%d lines per request)\n", rep.BatchSize)
+	}
+	fmt.Fprintf(w, "requests:    %d (concurrency %d) in %.2fs — %.1f %s\n",
+		rep.Requests, rep.Concurrency, rep.WallSeconds, rep.Throughput, unit)
 	fmt.Fprintf(w, "responses:   %d ok, %d shed (429), %d client 4xx, %d server 5xx, %d transport errors\n",
 		rep.OK, rep.Shed429, rep.Client4xx, rep.Server5xx, rep.Transport)
 	fmt.Fprintf(w, "coalesced:   %d responses carried X-Coalesced (server counter: %d)\n",
 		rep.Coalesced, rep.ServerCoalesced)
+	fmt.Fprintf(w, "cached:      %d responses served from cache (server: %d hits / %d misses / %d evictions, hit rate %.1f%%)\n",
+		rep.Cached, rep.ServerCacheHits, rep.ServerCacheMisses, rep.ServerCacheEvictions, 100*rep.ServerCacheHitRate)
 	fmt.Fprintf(w, "latency ms:  p50 %.2f  p95 %.2f  p99 %.2f  max %.2f\n",
 		rep.LatencyMs.P50, rep.LatencyMs.P95, rep.LatencyMs.P99, rep.LatencyMs.Max)
 	if rep.ServerScoreMs != nil {

@@ -1,0 +1,121 @@
+// Command circlerouter is the scale-out front door for circled: a
+// health-checked reverse proxy that consistent-hashes requests on
+// dataset name across a static set of circled backends, so each
+// backend's result cache concentrates on its share of the datasets
+// while every backend can still answer anything.
+//
+// Usage:
+//
+//	circlerouter -backends http://127.0.0.1:8779,http://127.0.0.1:8780
+//	             [-addr :8790] [-probe-interval 2s] [-probe-timeout 1s]
+//	             [-max-buffer 8388608] [-drain-timeout 10s] [-v]
+//
+// Routing:
+//
+//	POST /v1/score                  hashed on the body's dataset field
+//	GET  /v1/characterize/{dataset} hashed on the path's dataset
+//	everything else under /v1, /metrics  round-robin (no dataset affinity)
+//	GET  /healthz                   answered by the router itself:
+//	                                200 while ≥1 backend is healthy
+//
+// Backends are probed at -probe-interval via their /healthz; a failed
+// probe (or a transport error while forwarding) takes a backend out of
+// rotation and requests re-hash onto the survivors. Failover is
+// fail-open: if every backend looks dead the router tries them all
+// anyway, and only when every attempt fails does the client see a 502
+// with the standard error envelope (code no_backend). Request and
+// response bodies are buffered up to -max-buffer bytes so a backend
+// dying mid-exchange retries transparently on the next candidate; the
+// backend that answered is reported in the X-Backend response header.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"gpluscircles/internal/cliflag"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "circlerouter:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr          = cliflag.Addr(flag.CommandLine, ":8790")
+		backends      = flag.String("backends", "", "comma-separated circled base URLs (required)")
+		probeInterval = flag.Duration("probe-interval", 2*time.Second, "health-probe period")
+		probeTimeout  = flag.Duration("probe-timeout", 1*time.Second, "per-probe timeout")
+		maxBuffer     = flag.Int64("max-buffer", 8<<20, "request/response bytes buffered for transparent failover")
+		drainTimeout  = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown bound after SIGTERM")
+		verbose       = cliflag.Verbose(flag.CommandLine)
+	)
+	if err := flag.CommandLine.Parse(os.Args[1:]); err != nil {
+		return err
+	}
+	if *backends == "" {
+		return fmt.Errorf("-backends is required")
+	}
+
+	logf := func(format string, args ...any) {
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "circlerouter: "+format+"\n", args...)
+		}
+	}
+	rt, err := newRouter(strings.Split(*backends, ","), &http.Client{}, *maxBuffer, logf)
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// One synchronous probe round before accepting traffic, so the first
+	// requests already route around a backend that never came up.
+	rt.probe(*probeTimeout)
+	go rt.probeLoop(ctx.Done(), *probeInterval, *probeTimeout)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		alive := rt.aliveCount()
+		status := http.StatusOK
+		if alive == 0 {
+			status = http.StatusServiceUnavailable
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		fmt.Fprintf(w, `{"ok":%t,"backends":%d,"healthy":%d}`+"\n", alive > 0, len(rt.backends), alive)
+	})
+	mux.Handle("/", rt)
+
+	// Bind before serving so -addr :0 prints the resolved port for
+	// scripts to scrape, same contract as circled.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", *addr, err)
+	}
+	srv := &http.Server{Handler: mux}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "circlerouter: listening on %s (%d backends)\n", ln.Addr(), len(rt.backends))
+
+	select {
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		return srv.Shutdown(shutdownCtx)
+	case err := <-errCh:
+		return err
+	}
+}

@@ -1,0 +1,213 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gpluscircles/internal/serve/api"
+)
+
+// fakeBackend is a stand-in circled: it answers /healthz and echoes its
+// own id on every other path, so tests can observe routing decisions
+// without a real suite.
+func fakeBackend(id string) *httptest.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, `{"status":"ok"}`)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"backend":%q,"path":%q,"bytes":%d}`, id, r.URL.Path, len(body))
+	})
+	return httptest.NewServer(mux)
+}
+
+func testRouter(t *testing.T, urls ...string) *router {
+	t.Helper()
+	rt, err := newRouter(urls, &http.Client{Timeout: 5 * time.Second}, 8<<20,
+		func(string, ...any) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+// scoreVia sends one /v1/score body through the router and returns
+// status, X-Backend and response body.
+func scoreVia(t *testing.T, rt *router, dataset string) (int, string, []byte) {
+	t.Helper()
+	body := fmt.Sprintf(`{"dataset":%q,"group":"g"}`, dataset)
+	w := httptest.NewRecorder()
+	r := httptest.NewRequest("POST", "/v1/score", strings.NewReader(body))
+	rt.ServeHTTP(w, r)
+	return w.Code, w.Header().Get("X-Backend"), w.Body.Bytes()
+}
+
+// TestRouterConsistentHashing: the same dataset always lands on the same
+// backend, different datasets spread, and the answering backend is
+// reported in X-Backend.
+func TestRouterConsistentHashing(t *testing.T) {
+	b1 := fakeBackend("b1")
+	defer b1.Close()
+	b2 := fakeBackend("b2")
+	defer b2.Close()
+	rt := testRouter(t, b1.URL, b2.URL)
+
+	// A wide sample keeps the two-backend spread assertion robust: with
+	// 64 virtual nodes per backend the split is near-even, so 32 keys
+	// landing all on one side would be a 2^-31 fluke, i.e. a ring bug.
+	datasets := make([]string, 32)
+	for i := range datasets {
+		datasets[i] = fmt.Sprintf("ds%02d", i)
+	}
+	choice := make(map[string]string)
+	hit := make(map[string]int)
+	for _, ds := range datasets {
+		var first string
+		for i := 0; i < 5; i++ {
+			code, backend, body := scoreVia(t, rt, ds)
+			if code != http.StatusOK {
+				t.Fatalf("dataset %s: status %d, body %s", ds, code, body)
+			}
+			if first == "" {
+				first = backend
+			} else if backend != first {
+				t.Errorf("dataset %s moved from %s to %s with both backends healthy", ds, first, backend)
+			}
+		}
+		choice[ds] = first
+		hit[first]++
+	}
+	if len(hit) != 2 {
+		t.Errorf("all %d datasets hashed onto one backend: %v", len(datasets), choice)
+	}
+}
+
+// TestRouterFailover kills a backend mid-replay: every request must
+// still answer 200 (transport failures retry on the survivor), the dead
+// backend's datasets re-hash, and recovery is observed once the backend
+// returns.
+func TestRouterFailover(t *testing.T) {
+	b1 := fakeBackend("b1")
+	defer b1.Close()
+	b2 := fakeBackend("b2")
+	defer b2.Close()
+	rt := testRouter(t, b1.URL, b2.URL)
+
+	// Find a dataset served by b1 so the kill is guaranteed to matter.
+	var ds string
+	for i := 0; i < 64 && ds == ""; i++ {
+		cand := fmt.Sprintf("ds%02d", i)
+		if _, backend, _ := scoreVia(t, rt, cand); backend == b1.URL {
+			ds = cand
+		}
+	}
+	if ds == "" {
+		t.Fatal("no dataset hashed onto b1")
+	}
+
+	b1.Close() // induced failure mid-replay
+	for i := 0; i < 10; i++ {
+		code, backend, body := scoreVia(t, rt, ds)
+		if code >= 500 {
+			t.Fatalf("request %d after kill: status %d, body %s — failover leaked a 5xx", i, code, body)
+		}
+		if backend != b2.URL {
+			t.Errorf("request %d answered by %q, want survivor %s", i, backend, b2.URL)
+		}
+	}
+
+	// The transport failure marked b1 dead without waiting for a probe.
+	if got := rt.aliveCount(); got != 1 {
+		t.Errorf("aliveCount = %d after kill, want 1", got)
+	}
+}
+
+// TestRouterAllDead: with every backend gone the router answers 502
+// with the shared envelope and code no_backend — the only 5xx it may
+// ever originate.
+func TestRouterAllDead(t *testing.T) {
+	b1 := fakeBackend("b1")
+	b2 := fakeBackend("b2")
+	rt := testRouter(t, b1.URL, b2.URL)
+	b1.Close()
+	b2.Close()
+
+	code, _, body := scoreVia(t, rt, "gplus")
+	if code != http.StatusBadGateway {
+		t.Fatalf("status = %d, want 502 (body %s)", code, body)
+	}
+	e, ok := api.DecodeError(body)
+	if !ok || e.Code != api.CodeNoBackend {
+		t.Errorf("502 body is not the no_backend envelope: %s", body)
+	}
+}
+
+// TestRouterProbe: a backend failing /healthz leaves rotation after one
+// probe round and returns after passing again.
+func TestRouterProbe(t *testing.T) {
+	healthy := true
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if !healthy {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+	})
+	flappy := httptest.NewServer(mux)
+	defer flappy.Close()
+	steady := fakeBackend("steady")
+	defer steady.Close()
+
+	rt := testRouter(t, flappy.URL, steady.URL)
+	rt.probe(time.Second)
+	if got := rt.aliveCount(); got != 2 {
+		t.Fatalf("aliveCount = %d with both healthy, want 2", got)
+	}
+	healthy = false
+	rt.probe(time.Second)
+	if got := rt.aliveCount(); got != 1 {
+		t.Errorf("aliveCount = %d after failed probe, want 1", got)
+	}
+	healthy = true
+	rt.probe(time.Second)
+	if got := rt.aliveCount(); got != 2 {
+		t.Errorf("aliveCount = %d after recovery, want 2", got)
+	}
+}
+
+// TestRouterRoundRobinSpread: dataset-less requests rotate across the
+// healthy backends instead of pinning one.
+func TestRouterRoundRobinSpread(t *testing.T) {
+	b1 := fakeBackend("b1")
+	defer b1.Close()
+	b2 := fakeBackend("b2")
+	defer b2.Close()
+	rt := testRouter(t, b1.URL, b2.URL)
+
+	seen := make(map[string]int)
+	for i := 0; i < 6; i++ {
+		w := httptest.NewRecorder()
+		r := httptest.NewRequest("GET", "/v1/datasets", nil)
+		rt.ServeHTTP(w, r)
+		if w.Code != http.StatusOK {
+			t.Fatalf("status %d", w.Code)
+		}
+		var resp struct {
+			Backend string `json:"backend"`
+		}
+		if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		seen[resp.Backend]++
+	}
+	if len(seen) != 2 || seen["b1"] != 3 || seen["b2"] != 3 {
+		t.Errorf("round-robin spread = %v, want 3/3", seen)
+	}
+}

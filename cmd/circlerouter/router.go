@@ -1,0 +1,334 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"gpluscircles/internal/serve/api"
+)
+
+// virtualNodes is how many ring positions each backend occupies. 64
+// points per backend keeps the load split within a few percent of even
+// for the handful-of-backends deployments this router targets, while
+// the ring stays small enough to rebuild on every config read.
+const virtualNodes = 64
+
+// backend is one circled instance behind the router. alive is owned by
+// the prober and by forwarding failures (a transport error marks the
+// backend dead immediately rather than waiting a probe interval); it
+// starts true so a freshly booted router fails open until the first
+// probe round has evidence.
+type backend struct {
+	url   string
+	alive atomic.Bool
+}
+
+// router consistent-hashes requests on dataset name across a static
+// backend set. Hashing is a cache-locality optimization, not a
+// correctness requirement — every backend owns every dataset — which is
+// what makes fail-open sound: when the preferred backend is dead the
+// request walks the ring to the next alive one, and when every backend
+// looks dead the probe verdicts are ignored entirely and all are tried.
+// Requests without a dataset (inventory, metrics, batch streams) are
+// spread round-robin instead.
+//
+// Both request and response bodies are buffered up to maxBuffer bytes
+// so a transport failure at any point before the response is committed
+// to the client retries cleanly on the next candidate; bodies past the
+// bound stream through without retry. The backend that actually
+// answered is reported in the X-Backend response header.
+type router struct {
+	backends  []*backend
+	ring      []ringEntry // sorted by hash; read-only after newRouter
+	client    *http.Client
+	maxBuffer int64
+	rr        atomic.Uint64
+	logf      func(format string, args ...any)
+}
+
+// ringEntry is one virtual node on the hash ring.
+type ringEntry struct {
+	hash uint64
+	b    *backend
+}
+
+// newRouter builds the ring over the given backend base URLs.
+func newRouter(urls []string, client *http.Client, maxBuffer int64, logf func(string, ...any)) (*router, error) {
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("no backends configured")
+	}
+	rt := &router{client: client, maxBuffer: maxBuffer, logf: logf}
+	seen := make(map[string]bool, len(urls))
+	for _, u := range urls {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		if u == "" {
+			continue
+		}
+		if !strings.Contains(u, "://") {
+			u = "http://" + u
+		}
+		if seen[u] {
+			return nil, fmt.Errorf("duplicate backend %s", u)
+		}
+		seen[u] = true
+		b := &backend{url: u}
+		b.alive.Store(true)
+		rt.backends = append(rt.backends, b)
+		for v := 0; v < virtualNodes; v++ {
+			rt.ring = append(rt.ring, ringEntry{hash: hash64(fmt.Sprintf("%s#%d", u, v)), b: b})
+		}
+	}
+	if len(rt.backends) == 0 {
+		return nil, fmt.Errorf("no backends configured")
+	}
+	sort.Slice(rt.ring, func(i, j int) bool { return rt.ring[i].hash < rt.ring[j].hash })
+	return rt, nil
+}
+
+// hash64 is fnv64a — the serving layer's hashing idiom — run through a
+// splitmix64 finalizer. The finalizer matters: backend URLs differ only
+// in a trailing port digit, and raw fnv64a leaves such inputs so
+// correlated that one backend's virtual nodes can all sort above the
+// other's, handing it the entire ring. Avalanching the output restores
+// the near-even arc split the virtual-node count is supposed to buy.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = io.WriteString(h, s)
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// probe runs one health round: GET /healthz on every backend, alive iff
+// it answers 200. Transitions are logged so an operator can correlate
+// failover with the backend that caused it.
+func (rt *router) probe(timeout time.Duration) {
+	for _, b := range rt.backends {
+		req, err := http.NewRequest(http.MethodGet, b.url+"/healthz", nil)
+		if err != nil {
+			continue
+		}
+		c := &http.Client{Transport: rt.client.Transport, Timeout: timeout}
+		resp, err := c.Do(req)
+		ok := err == nil && resp.StatusCode == http.StatusOK
+		if resp != nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		if b.alive.Swap(ok) != ok {
+			if ok {
+				rt.logf("backend %s is healthy", b.url)
+			} else {
+				rt.logf("backend %s failed health probe", b.url)
+			}
+		}
+	}
+}
+
+// probeLoop re-probes on every tick until ctx is done.
+func (rt *router) probeLoop(done <-chan struct{}, interval, timeout time.Duration) {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-ticker.C:
+			rt.probe(timeout)
+		}
+	}
+}
+
+// aliveCount reports how many backends passed their last probe.
+func (rt *router) aliveCount() int {
+	n := 0
+	for _, b := range rt.backends {
+		if b.alive.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// candidates returns every backend in preference order for a request:
+// ring order from the dataset's hash when the request names one,
+// round-robin rotation otherwise. All backends are returned — the
+// forwarding loop applies liveness, so "everything looks dead" degrades
+// to trying the full list (fail-open) rather than refusing.
+func (rt *router) candidates(dataset string) []*backend {
+	out := make([]*backend, 0, len(rt.backends))
+	if dataset == "" {
+		start := int(rt.rr.Add(1)-1) % len(rt.backends)
+		for i := 0; i < len(rt.backends); i++ {
+			out = append(out, rt.backends[(start+i)%len(rt.backends)])
+		}
+		return out
+	}
+	h := hash64(dataset)
+	start := sort.Search(len(rt.ring), func(i int) bool { return rt.ring[i].hash >= h }) % len(rt.ring)
+	seen := make(map[*backend]bool, len(rt.backends))
+	for i := 0; i < len(rt.ring) && len(out) < len(rt.backends); i++ {
+		b := rt.ring[(start+i)%len(rt.ring)].b
+		if !seen[b] {
+			seen[b] = true
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// requestDataset extracts the routing key from a request whose body has
+// already been buffered. Score-family POSTs carry the dataset in their
+// JSON body; characterize carries it in the path. Unknown or unparsable
+// shapes route as dataset-less — the backend, not the router, owns
+// rejecting bad requests.
+func requestDataset(r *http.Request, body []byte) string {
+	switch {
+	case r.Method == http.MethodPost && r.URL.Path == "/v1/score":
+		var req api.ScoreRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return ""
+		}
+		return req.Dataset
+	case strings.HasPrefix(r.URL.Path, "/v1/characterize/"):
+		return strings.TrimPrefix(r.URL.Path, "/v1/characterize/")
+	}
+	return ""
+}
+
+// ServeHTTP forwards one request, walking the candidate list past dead
+// or failing backends. A 5xx from a live backend is a real answer and
+// is relayed as-is (the service's own contract says 5xx means a bug);
+// only transport-level failures trigger failover.
+func (rt *router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	body, overflow, err := bufferBody(r.Body, rt.maxBuffer)
+	if err != nil {
+		writeRouterError(w, http.StatusBadRequest, api.CodeInvalidRequest, "read request body: "+err.Error())
+		return
+	}
+
+	candidates := rt.candidates(requestDataset(r, body))
+	// Two passes: alive backends in preference order, then — only if
+	// every attempt failed — the dead ones, so a stale probe verdict can
+	// not black-hole traffic.
+	ordered := make([]*backend, 0, len(candidates))
+	for _, b := range candidates {
+		if b.alive.Load() {
+			ordered = append(ordered, b)
+		}
+	}
+	for _, b := range candidates {
+		if !b.alive.Load() {
+			ordered = append(ordered, b)
+		}
+	}
+
+	var lastErr error
+	for i, b := range ordered {
+		if overflow != nil && i > 0 {
+			break // a streamed request body is consumed; no retry possible
+		}
+		reqBody := io.Reader(bytes.NewReader(body))
+		if overflow != nil {
+			reqBody = io.MultiReader(bytes.NewReader(body), overflow)
+		}
+		if err := rt.forward(w, r, b, reqBody); err != nil {
+			lastErr = err
+			b.alive.Store(false)
+			rt.logf("backend %s: %v (failing over)", b.url, err)
+			continue
+		}
+		return
+	}
+	msg := "no backend available"
+	if lastErr != nil {
+		msg = fmt.Sprintf("no backend available (last error: %v)", lastErr)
+	}
+	writeRouterError(w, http.StatusBadGateway, api.CodeNoBackend, msg)
+}
+
+// forward sends the request to one backend and, on success, commits the
+// response to the client. An error return means nothing was written to
+// the client and the caller may retry elsewhere; once the response body
+// exceeds the buffer bound the remainder streams through and a failure
+// mid-stream is the client's to observe (nothing else is possible after
+// the status line is out).
+func (rt *router) forward(w http.ResponseWriter, r *http.Request, b *backend, body io.Reader) error {
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, b.url+r.URL.RequestURI(), body)
+	if err != nil {
+		return err
+	}
+	req.Header = r.Header.Clone()
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	buf, overflow, err := bufferBody(resp.Body, rt.maxBuffer)
+	if err != nil && overflow == nil {
+		return fmt.Errorf("read response: %w", err)
+	}
+
+	h := w.Header()
+	for k, vs := range resp.Header {
+		h[k] = vs
+	}
+	h.Set("X-Backend", b.url)
+	w.WriteHeader(resp.StatusCode)
+	if _, err := w.Write(buf); err != nil {
+		return nil // client went away; the exchange is over either way
+	}
+	if overflow != nil {
+		_, _ = io.Copy(w, overflow)
+	}
+	return nil
+}
+
+// bufferBody reads body up to max bytes. overflow is non-nil when the
+// body kept going: the buffered prefix plus overflow replays the whole
+// stream exactly once, which callers use to fall back to non-retryable
+// streaming.
+func bufferBody(body io.Reader, max int64) (buf []byte, overflow io.Reader, err error) {
+	if body == nil {
+		return nil, nil, nil
+	}
+	buf, err = io.ReadAll(io.LimitReader(body, max))
+	if err != nil {
+		return nil, nil, err
+	}
+	if int64(len(buf)) < max {
+		return buf, nil, nil
+	}
+	// Exactly max bytes read — peek one byte to learn whether the body
+	// actually continues.
+	var one [1]byte
+	n, err := body.Read(one[:])
+	if n == 0 && (err == io.EOF || err == nil) {
+		return buf, nil, nil
+	}
+	if err != nil && err != io.EOF {
+		return buf, nil, err
+	}
+	return buf, io.MultiReader(bytes.NewReader(one[:n]), body), nil
+}
+
+// writeRouterError emits the shared /v1 error envelope for failures the
+// router itself originates, so clients parse one error shape no matter
+// which tier produced it.
+func writeRouterError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(api.ErrorBody(code, msg))
+}

@@ -21,6 +21,15 @@ var (
 	// may change between commits.
 	TriangleCohesion = Register("triangle-cohesion",
 		"triangle-density cohesion scoring (score func \"cohesion\", circlebench -experiment cohesion, circledetect -cohesion)")
+
+	// BatchScoring gates the NDJSON batch surface: POST /v1/score/batch
+	// on circled and the -batch replay mode in circleload. Batch lines
+	// run through the same resolution, cache and scoring path as unary
+	// requests, so the gate covers only the stream framing (BatchLine
+	// shape, index -1 terminal errors, in-flight bounds), which may
+	// change between commits while replay tooling settles on it.
+	BatchScoring = Register("batch-scoring",
+		"NDJSON batch scoring (POST /v1/score/batch, circleload -batch)")
 )
 
 func init() {

@@ -26,6 +26,13 @@ type Config struct {
 	// command packages: every direct module-internal import of a package
 	// under CommandPrefix must match one of these patterns.
 	CommandAllow []string
+	// CommandRestrict narrows CommandAllow per seam: when a blessed
+	// import matches a key pattern, only the command packages matching
+	// that key's patterns may import it directly. This is how a package
+	// stays importable by the one binary that embodies it (serve by
+	// circled) without becoming a free-for-all seam — every other binary
+	// must use the narrower contract package instead (serve/api).
+	CommandRestrict map[string][]string
 }
 
 // ForbidRule forbids any module-internal import chain from a package
@@ -96,13 +103,13 @@ func DefaultConfig() *Config {
 				Name: "no-upward-imports",
 				Why:  "algorithm and data layers must stay usable without the orchestrator or the service",
 				From: below,
-				To:   []string{mod + "/internal/core", mod + "/internal/serve", mod + "/cmd/..."},
+				To:   []string{mod + "/internal/core", mod + "/internal/serve/...", mod + "/cmd/..."},
 			},
 			{
 				Name: "core-below-serve",
 				Why:  "the experiment orchestrator must not depend on the serving layer or the binaries",
 				From: []string{mod + "/internal/core"},
-				To:   []string{mod + "/internal/serve", mod + "/cmd/..."},
+				To:   []string{mod + "/internal/serve/...", mod + "/cmd/..."},
 			},
 			{
 				Name: "foundation-is-leaf",
@@ -121,7 +128,13 @@ func DefaultConfig() *Config {
 		// The blessed seams a binary may touch directly. Notably absent:
 		// nullmodel, sample, feature, stats — binaries reach those through
 		// core's orchestration or score's interfaces, never directly.
+		// serve/api is the wire contract every serving-tier client shares;
+		// serve itself is restricted below to the binary that embodies it.
 		CommandAllow: layer("cliflag", "core", "dataset", "detect", "experiments",
-			"graph", "graphalgo", "lint", "obs", "powerlaw", "report", "score", "serve", "synth"),
+			"graph", "graphalgo", "lint", "obs", "powerlaw", "report", "score",
+			"serve", "serve/api", "synth"),
+		CommandRestrict: map[string][]string{
+			mod + "/internal/serve": {mod + "/cmd/circled"},
+		},
 	}
 }

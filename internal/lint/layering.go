@@ -1,15 +1,20 @@
 package lint
 
-import "strings"
+import (
+	"sort"
+	"strings"
+)
 
 // Layering checks the declarative layer map (Config.Forbid,
-// Config.CommandAllow) against the module's import graph. Forbid rules
-// are transitive — no import chain may lead from a From package to a To
-// package, and a violation reports the full offending chain, not just
-// the first edge — while the command allowlist binds direct imports:
-// binaries touch only the blessed seams, so refactors behind those
-// seams never ripple into cmd/. The map lives in code (DefaultConfig)
-// so the repo's architecture is a tested invariant, not a convention.
+// Config.CommandAllow, Config.CommandRestrict) against the module's
+// import graph. Forbid rules are transitive — no import chain may lead
+// from a From package to a To package, and a violation reports the full
+// offending chain, not just the first edge — while the command
+// allowlist binds direct imports: binaries touch only the blessed
+// seams, so refactors behind those seams never ripple into cmd/.
+// CommandRestrict narrows individual seams further, to the command
+// packages that own them. The map lives in code (DefaultConfig) so the
+// repo's architecture is a tested invariant, not a convention.
 var Layering = &Analyzer{
 	Name:      "layering",
 	Doc:       "import-graph layer violations against the declarative layer map, full chains reported",
@@ -19,6 +24,12 @@ var Layering = &Analyzer{
 
 func runLayering(pass *ModulePass) {
 	cfg := pass.Config
+	// Sorted so multi-pattern restrictions report deterministically.
+	restrictKeys := make([]string, 0, len(cfg.CommandRestrict))
+	for k := range cfg.CommandRestrict {
+		restrictKeys = append(restrictKeys, k)
+	}
+	sort.Strings(restrictKeys)
 	for _, from := range pass.Mod.Paths() {
 		if isExternalTestPkg(from) {
 			continue
@@ -42,14 +53,21 @@ func runLayering(pass *ModulePass) {
 				"layer rule %q: %s must not reach %s — %s",
 				rule.Name, from, chain[len(chain)-1], why)
 		}
-		if len(cfg.CommandAllow) > 0 && cfg.CommandPrefix != "" && strings.HasPrefix(from, cfg.CommandPrefix) {
+		if cfg.CommandPrefix != "" && strings.HasPrefix(from, cfg.CommandPrefix) {
 			for _, dep := range pass.Mod.Imports(from) {
-				if matchAny(dep, cfg.CommandAllow) {
+				if len(cfg.CommandAllow) > 0 && !matchAny(dep, cfg.CommandAllow) {
+					pass.ReportChain(pass.Mod.ImportPos(from, dep), []string{from, dep},
+						"command %s imports %s, which is not a blessed seam; reach it through the allowed packages or bless it in the layer map",
+						from, dep)
 					continue
 				}
-				pass.ReportChain(pass.Mod.ImportPos(from, dep), []string{from, dep},
-					"command %s imports %s, which is not a blessed seam; reach it through the allowed packages or bless it in the layer map",
-					from, dep)
+				for _, pattern := range restrictKeys {
+					if matchPattern(dep, pattern) && !matchAny(from, cfg.CommandRestrict[pattern]) {
+						pass.ReportChain(pass.Mod.ImportPos(from, dep), []string{from, dep},
+							"command %s imports %s, a seam restricted to %s; use its contract package instead",
+							from, dep, strings.Join(cfg.CommandRestrict[pattern], ", "))
+					}
+				}
 			}
 		}
 	}

@@ -133,7 +133,10 @@ func layeringFixtureConfig() *Config {
 			From: []string{"example.com/layermod/graph"},
 			To:   []string{"example.com/layermod/core"},
 		}},
-		CommandAllow: []string{"example.com/layermod/mid"},
+		CommandAllow: []string{"example.com/layermod/mid", "example.com/layermod/serveish"},
+		CommandRestrict: map[string][]string{
+			"example.com/layermod/serveish": {"example.com/layermod/cmd/owner"},
+		},
 	}
 }
 

@@ -1,0 +1,9 @@
+// Command owner is the one binary allowed to import the restricted
+// serveish seam, so none of its imports are violations.
+package main
+
+import "example.com/layermod/serveish"
+
+func main() {
+	_ = serveish.Handle()
+}

@@ -1,13 +1,16 @@
-// Command tool imports one blessed seam (mid) and one package that is
-// not on the allowlist (graph): only the latter is a violation.
+// Command tool imports one blessed seam (mid), one package that is not
+// on the allowlist (graph), and one allowlisted seam restricted to a
+// different command (serveish): the latter two are violations.
 package main
 
 import (
 	"example.com/layermod/graph" // want layering
 	"example.com/layermod/mid"
+	"example.com/layermod/serveish" // want layering
 )
 
 func main() {
 	_ = graph.Build()
 	_ = mid.Glue()
+	_ = serveish.Handle()
 }

@@ -1,0 +1,7 @@
+// Package serveish is a blessed seam restricted to cmd/owner: any
+// other command importing it trips the CommandRestrict rule even though
+// the package is on the allowlist.
+package serveish
+
+// Handle is a stand-in export.
+func Handle() int { return 3 }

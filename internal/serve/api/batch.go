@@ -1,0 +1,38 @@
+package api
+
+import "encoding/json"
+
+// NDJSONContentType is the media type of the POST /v1/score/batch
+// request and response streams: one JSON document per \n-terminated
+// line, no enclosing array.
+const NDJSONContentType = "application/x-ndjson"
+
+// BatchLine is one POST /v1/score/batch output line. The endpoint reads
+// NDJSON ScoreRequest lines and streams back exactly one BatchLine per
+// non-blank input line, in input order, while at most the server's
+// configured number of lines is in flight — per-line failures are
+// isolated to their line and never abort the stream.
+//
+// The whole-request failure modes (the experiment gate, a draining
+// server, an over-long line aborting the scanner) use the standard
+// error envelope instead; anything after the first streamed line is
+// reported as a final BatchLine whose Index is -1.
+type BatchLine struct {
+	// Index is the 0-based position of the line's request among the
+	// non-blank input lines, or -1 for a terminal stream-level error.
+	Index int `json:"index"`
+	// Status is the HTTP status the same request would have received
+	// from POST /v1/score: 200 with Result set, or an error status with
+	// Error set.
+	Status int `json:"status"`
+	// Cached marks a 200 line answered from the result cache; its
+	// Result bytes are identical to the original computation's.
+	Cached bool `json:"cached,omitempty"`
+	// Error carries the per-line error for Status != 200, the same
+	// code/message pair a unary request would have received in the
+	// error envelope.
+	Error *Error `json:"error,omitempty"`
+	// Result is the verbatim ScoreResponse JSON for Status == 200 —
+	// byte-identical to the unary /v1/score body for the same request.
+	Result json.RawMessage `json:"result,omitempty"`
+}

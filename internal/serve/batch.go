@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+
+	"gpluscircles/internal/experiments"
+	"gpluscircles/internal/serve/api"
+)
+
+// handleScoreBatch is POST /v1/score/batch: NDJSON api.ScoreRequest
+// lines in, NDJSON api.BatchLine out, one output line per non-blank
+// input line, in input order. The endpoint exists so a replay client
+// can push millions of requests over one connection instead of paying
+// a round trip each; the whole surface is gated as the batch-scoring
+// experiment while its line format settles.
+//
+// Backpressure is structural, not reactive: at most BatchInFlight
+// lines are executing or buffered ahead of the writer at any moment,
+// so the handler never reads (and never allocates for) more of the
+// stream than it can score and flush. Combined with HTTP flow control
+// that bounds the server's exposure to one batch request by a
+// constant, no matter how large the stream is. Lines share the unary
+// path end to end — same validation, same result cache, same
+// singleflight group (a batch line coalesces with identical unary
+// requests in flight), same scoring — so a 200 line's result bytes
+// are byte-identical to the unary response for that request.
+//
+// Error isolation is per line: a malformed or unresolvable line
+// produces an error BatchLine (the envelope's code/message pair) and
+// the stream continues. Only stream-level failures end the response
+// early, reported as a final line with index -1.
+func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
+	s.mRequests.Inc()
+	if err := s.opts.Experiments.Require(experiments.BatchScoring); err != nil {
+		writeError(w, http.StatusBadRequest, api.CodeExperimentGated, err.Error())
+		return
+	}
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, api.CodeDraining, "draining")
+		return
+	}
+	s.mBatchReqs.Inc()
+
+	w.Header().Set("Content-Type", api.NDJSONContentType)
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	// order carries one single-use result slot per emitted line, in
+	// input order; its buffer is the read-ahead bound. The writer
+	// goroutine is the only writer of w after the header above, and the
+	// handler joins it before returning.
+	order := make(chan chan api.BatchLine, s.opts.BatchInFlight)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		enc := json.NewEncoder(w)
+		for slot := range order {
+			// Encode errors mean the client is gone; keep draining slots
+			// so no line worker blocks on an abandoned stream (slots are
+			// buffered, workers never block — this loop just empties).
+			_ = enc.Encode(<-slot)
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}()
+
+	ctx := r.Context()
+	sem := make(chan struct{}, s.opts.BatchInFlight)
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 64<<10), maxScoreBodyBytes)
+	idx := 0
+readLoop:
+	for sc.Scan() {
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		// The scanner reuses its buffer across lines; the worker needs a
+		// stable copy.
+		line := append([]byte(nil), raw...)
+		slot := make(chan api.BatchLine, 1)
+		select {
+		case order <- slot:
+		case <-ctx.Done():
+			break readLoop
+		}
+		i := idx
+		idx++
+		s.mBatchLines.Inc()
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			// The slot is already queued: fill it so the writer's drain
+			// terminates, then stop reading.
+			slot <- api.BatchLine{Index: i, Status: http.StatusServiceUnavailable,
+				Error: &api.Error{Code: api.CodeCancelled, Message: "batch cancelled"}}
+			break readLoop
+		}
+		go func() {
+			defer func() { <-sem }()
+			slot <- s.runBatchLine(ctx, i, line)
+		}()
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		// Stream-level failure (e.g. a line over the byte bound): the
+		// per-line protocol can no longer attribute input positions, so
+		// terminate with the sentinel index.
+		slot := make(chan api.BatchLine, 1)
+		slot <- api.BatchLine{Index: -1, Status: http.StatusBadRequest,
+			Error: &api.Error{Code: api.CodeInvalidRequest, Message: "read batch stream: " + err.Error()}}
+		select {
+		case order <- slot:
+		case <-ctx.Done():
+		}
+	}
+	close(order)
+	<-writerDone
+}
+
+// runBatchLine scores one batch line through the shared unary path:
+// resolve, result cache, singleflight join, execute. The leader of a
+// coalesced group executes inline on the line's goroutine — the batch
+// in-flight bound is the concurrency bound, the same role the pool
+// plays for unary calls — and followers (batch or unary) share its
+// byte-identical result.
+func (s *Server) runBatchLine(ctx context.Context, idx int, line []byte) api.BatchLine {
+	job, herr := s.resolveScoreBody(bytes.NewReader(line))
+	if herr != nil {
+		s.mBatchErrs.Inc()
+		return api.BatchLine{Index: idx, Status: herr.status, Error: herr.apiError()}
+	}
+	if body, ok := s.cache.get(job.key); ok {
+		return api.BatchLine{Index: idx, Status: http.StatusOK, Cached: true, Result: body}
+	}
+	c, leader := s.flight.join(job.key, func() *call {
+		// Background parent, like dispatch: the call may be shared with
+		// other waiters, so only the departure of the last waiter (or
+		// the per-call deadline) cancels it — never this one line's ctx.
+		cctx, cancel := context.WithTimeout(context.Background(), s.opts.RequestTimeout)
+		return &call{
+			key:    job.key,
+			ctx:    cctx,
+			cancel: cancel,
+			run: func(runCtx context.Context) ([]byte, int) {
+				return s.runScore(runCtx, job)
+			},
+			done: make(chan struct{}),
+		}
+	})
+	if leader {
+		s.execute(c)
+	} else {
+		s.mCoalesced.Inc()
+		select {
+		case <-c.done:
+		case <-ctx.Done():
+			c.leave()
+			s.mBatchErrs.Inc()
+			return api.BatchLine{Index: idx, Status: http.StatusServiceUnavailable,
+				Error: &api.Error{Code: api.CodeCancelled, Message: "batch cancelled"}}
+		}
+	}
+	if c.status == http.StatusOK {
+		return api.BatchLine{Index: idx, Status: http.StatusOK, Result: c.body}
+	}
+	s.mBatchErrs.Inc()
+	out := api.BatchLine{Index: idx, Status: c.status}
+	if e, ok := api.DecodeError(c.body); ok {
+		out.Error = &e
+	} else {
+		out.Error = &api.Error{Code: api.CodeInternal, Message: string(c.body)}
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gpluscircles/internal/experiments"
+	"gpluscircles/internal/serve/api"
+)
+
+// updateBatchGolden regenerates the checked-in batch NDJSON bytes:
+//
+//	go test ./internal/serve/ -run TestBatchGolden -update-golden
+var updateBatchGolden = flag.Bool("update-golden", false, "rewrite the golden batch NDJSON bytes")
+
+// batchServer builds a test server with the batch-scoring experiment
+// enabled.
+func batchServer(t *testing.T, opts Options) *Server {
+	t.Helper()
+	enabled, err := experiments.ParseSet("batch-scoring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Experiments = enabled
+	return newTestServer(t, opts)
+}
+
+// postBatch replays one NDJSON payload and returns the raw response.
+func postBatch(t *testing.T, ts *httptest.Server, payload string) (int, []byte) {
+	t.Helper()
+	resp, err := ts.Client().Post(ts.URL+"/v1/score/batch", api.NDJSONContentType, strings.NewReader(payload))
+	if err != nil {
+		t.Fatalf("post batch: %v", err)
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode, readAll(t, resp.Body)
+}
+
+// TestBatchGolden pins the exact NDJSON bytes of a mixed stream —
+// successes, a cache hit, and three per-line failures — against a
+// checked-in golden file. BatchInFlight 1 serializes the lines so the
+// Cached flag is deterministic: the duplicate line always finds its
+// predecessor's result resident. Any drift in the BatchLine shape, the
+// error envelope, or the scoring output shows up as a byte diff.
+func TestBatchGolden(t *testing.T) {
+	s := batchServer(t, Options{Workers: 1, BatchInFlight: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	group, _ := firstGroup(t, "gplus")
+
+	lines := []string{
+		fmt.Sprintf(`{"dataset":"gplus","group":%q}`, group),
+		fmt.Sprintf(`{"dataset":"gplus","group":%q}`, group), // duplicate: cache hit
+		`{not json`,
+		`{"dataset":"nope","group":"x"}`,
+		"", // blank: skipped, not indexed
+		fmt.Sprintf(`{"dataset":"gplus","group":%q,"funcs":["nope"]}`, group),
+	}
+	status, body := postBatch(t, ts, strings.Join(lines, "\n"))
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %s", status, body)
+	}
+
+	golden := filepath.Join("testdata", "batch_mixed.golden")
+	if *updateBatchGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden file (regenerate with -update-golden): %v", err)
+	}
+	if !bytes.Equal(body, want) {
+		t.Errorf("batch NDJSON drifted from golden bytes; if the change is intended, regenerate with -update-golden\ngot:\n%s\nwant:\n%s", body, want)
+	}
+}
+
+// TestBatchPerLineIsolation: a stream with failures in the middle keeps
+// scoring the rest — one output line per input line, in input order,
+// errors carried as envelopes, successes byte-identical to the unary
+// endpoint's responses.
+func TestBatchPerLineIsolation(t *testing.T) {
+	s := batchServer(t, Options{BatchInFlight: 4})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	gplusGroup, _ := firstGroup(t, "gplus")
+	twitterGroup, _ := firstGroup(t, "twitter")
+
+	good := []api.ScoreRequest{
+		{Dataset: "gplus", Group: gplusGroup},
+		{Dataset: "twitter", Group: twitterGroup},
+		{Dataset: "gplus", Group: gplusGroup, Funcs: []string{"conductance"}},
+	}
+	lines := []string{
+		string(mustMarshal(t, good[0])),
+		`{"dataset":"nope","group":"x"}`,
+		string(mustMarshal(t, good[1])),
+		`{broken`,
+		string(mustMarshal(t, good[2])),
+	}
+	status, body := postBatch(t, ts, strings.Join(lines, "\n")+"\n")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %s", status, body)
+	}
+
+	var out []api.BatchLine
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		var bl api.BatchLine
+		if err := json.Unmarshal(sc.Bytes(), &bl); err != nil {
+			t.Fatalf("output line is not a BatchLine: %v (%s)", err, sc.Bytes())
+		}
+		out = append(out, bl)
+	}
+	if len(out) != len(lines) {
+		t.Fatalf("%d output lines for %d input lines", len(out), len(lines))
+	}
+	for i, bl := range out {
+		if bl.Index != i {
+			t.Errorf("line %d carries index %d; output must follow input order", i, bl.Index)
+		}
+	}
+	wantErr := map[int]string{1: api.CodeUnknownDataset, 3: api.CodeInvalidRequest}
+	for i, bl := range out {
+		if code, bad := wantErr[i]; bad {
+			if bl.Status == http.StatusOK || bl.Error == nil || bl.Error.Code != code {
+				t.Errorf("line %d: want error code %q, got %+v", i, code, bl)
+			}
+			continue
+		}
+		if bl.Status != http.StatusOK || bl.Error != nil {
+			t.Errorf("line %d: want 200, got %+v", i, bl)
+		}
+	}
+
+	// Batch 200 results are byte-identical to the unary endpoint's.
+	for i, li := range []int{0, 2, 4} {
+		_, unary, _ := postScore(t, ts.Client(), ts.URL, good[i])
+		if !bytes.Equal([]byte(out[li].Result), unary) {
+			t.Errorf("line %d result differs from the unary response:\n%s\n%s", li, out[li].Result, unary)
+		}
+	}
+
+	// The line counters saw the stream: 5 lines, 2 line errors.
+	snap := s.rec.Snapshot()
+	if got := snap.Counters["serve.batch.lines"]; got != int64(len(lines)) {
+		t.Errorf("serve.batch.lines = %d, want %d", got, len(lines))
+	}
+	if got := snap.Counters["serve.batch.line_errors"]; got != 2 {
+		t.Errorf("serve.batch.line_errors = %d, want 2", got)
+	}
+}
+
+// TestBatchOversizedLine: a line past the byte bound is a stream-level
+// failure — scanning cannot resynchronize — reported as a final
+// BatchLine with the sentinel index -1 after the lines already read.
+func TestBatchOversizedLine(t *testing.T) {
+	s := batchServer(t, Options{BatchInFlight: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	group, _ := firstGroup(t, "gplus")
+
+	huge := `{"dataset":"` + strings.Repeat("x", maxScoreBodyBytes+1) + `"}`
+	payload := fmt.Sprintf(`{"dataset":"gplus","group":%q}`, group) + "\n" + huge + "\n"
+	status, body := postBatch(t, ts, payload)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d (the stream header is committed before lines run)", status)
+	}
+	outLines := bytes.Split(bytes.TrimSpace(body), []byte("\n"))
+	var last api.BatchLine
+	if err := json.Unmarshal(outLines[len(outLines)-1], &last); err != nil {
+		t.Fatalf("terminal line: %v (%s)", err, outLines[len(outLines)-1])
+	}
+	if last.Index != -1 || last.Error == nil || last.Error.Code != api.CodeInvalidRequest {
+		t.Errorf("terminal line = %+v, want index -1 with code invalid_request", last)
+	}
+	var first api.BatchLine
+	if err := json.Unmarshal(outLines[0], &first); err != nil || first.Status != http.StatusOK {
+		t.Errorf("line before the failure did not complete: %s", outLines[0])
+	}
+}

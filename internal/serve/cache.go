@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"gpluscircles/internal/obs"
+)
+
+// resultCache is the bounded LRU result cache in front of the worker
+// pool. It is keyed by the same canonical request hash as the
+// singleflight layer, which divides the deduplication work cleanly:
+// coalescing collapses concurrent duplicates into one execution, the
+// cache collapses sequential ones into zero. Only 200 bodies are
+// cached — they are pure functions of the request for a fixed suite
+// (scale, seed), so a hit can return the original computation's exact
+// bytes — and error responses always re-execute.
+//
+// The bound is an entry count, not bytes: response bodies are small
+// (a scores map, not a graph), so the count bound keeps the arithmetic
+// obvious in /metrics while still capping memory. Hits, misses and
+// evictions are exported as serve.cache.{hits,misses,evictions};
+// hit-rate = hits / (hits + misses). A miss is counted for every
+// request that reached the pool path, coalesced followers included.
+type resultCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter
+}
+
+// cacheEntry is one cached 200 response.
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// newResultCache builds a cache bounded to max entries, registering
+// its counters on rec. max <= 0 disables the cache: get always misses
+// (uncounted) and add is a no-op, so a disabled cache is observably
+// absent rather than a 0-entry edge case.
+func newResultCache(max int, rec *obs.Recorder) *resultCache {
+	c := &resultCache{
+		max:       max,
+		hits:      rec.Counter("serve.cache.hits"),
+		misses:    rec.Counter("serve.cache.misses"),
+		evictions: rec.Counter("serve.cache.evictions"),
+	}
+	if max > 0 {
+		c.ll = list.New()
+		c.items = make(map[string]*list.Element, max)
+	}
+	return c
+}
+
+// enabled reports whether the cache stores anything at all.
+func (c *resultCache) enabled() bool { return c.max > 0 }
+
+// get returns the cached body for key, promoting it to most recently
+// used. The returned slice is shared and must never be mutated —
+// handlers only ever write it to the wire.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	if !c.enabled() {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses.Inc()
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits.Inc()
+	return el.Value.(*cacheEntry).body, true
+}
+
+// add stores a 200 body under key, evicting the least recently used
+// entry past the bound. Re-adding an existing key refreshes its
+// recency but keeps the first body: for a deterministic service both
+// are byte-identical, so preferring the resident bytes keeps every
+// past and future hit provably equal.
+func (c *resultCache) add(key string, body []byte) {
+	if !c.enabled() {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+	if c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictions.Inc()
+	}
+}
+
+// len reports the resident entry count (tests assert the bound).
+func (c *resultCache) len() int {
+	if !c.enabled() {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

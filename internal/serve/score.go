@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"net/http"
 	"sort"
 	"strings"
@@ -15,90 +16,41 @@ import (
 	"gpluscircles/internal/graph"
 	"gpluscircles/internal/nullmodel"
 	"gpluscircles/internal/score"
+	"gpluscircles/internal/serve/api"
 	"gpluscircles/internal/synth"
 )
 
-// ScoreRequest is the POST /v1/score body: score one vertex set — a
-// named circle/community of the data set, or an arbitrary node set given
-// by external vertex IDs — under the paper's scoring functions.
-type ScoreRequest struct {
-	// Dataset is a registry name from GET /v1/datasets (e.g. "gplus").
-	Dataset string `json:"dataset"`
-	// Group names an existing circle/community of the data set.
-	// Exactly one of Group and Members must be set.
-	Group string `json:"group,omitempty"`
-	// Members is an arbitrary node set as external vertex IDs.
-	Members []int64 `json:"members,omitempty"`
-	// Funcs selects scoring functions by registry name; empty selects
-	// the paper's four (avgdeg, ratiocut, conductance, modularity).
-	Funcs []string `json:"funcs,omitempty"`
-	// NullSamples > 0 switches Modularity's E(m_C) from the analytic
-	// Chung-Lu expectation to the empirical Viger-Latapy estimator with
-	// that many degree-preserving samples.
-	NullSamples int `json:"null_samples,omitempty"`
-	// Seed drives the empirical null model; 0 selects 1. Part of the
-	// coalescing key, so equal seeds provably share one execution.
-	Seed int64 `json:"seed,omitempty"`
-}
+// maxScoreBodyBytes bounds one score request body — unary, or one NDJSON
+// line of a batch stream.
+const maxScoreBodyBytes = 1 << 20
 
-// ScoreResponse is the /v1/score result. For a fixed suite (scale,
-// seed), the response bytes are a pure function of the request.
-type ScoreResponse struct {
-	Dataset string `json:"dataset"`
-	Group   string `json:"group,omitempty"`
-	// N, InternalEdges and BoundaryEdges are n_C, m_C and c_C of the
-	// paper's Table I nomenclature.
-	N              int   `json:"n"`
-	InternalEdges  int64 `json:"internal_edges"`
-	BoundaryEdges  int64 `json:"boundary_edges"`
-	// Null reports which E(m_C) fed Modularity: "analytic" or
-	// "empirical".
-	Null        string             `json:"null"`
-	NullSamples int                `json:"null_samples,omitempty"`
-	Seed        int64              `json:"seed,omitempty"`
-	Scores      map[string]float64 `json:"scores"`
-}
-
-// CharacterizeResponse is the GET /v1/characterize/{dataset} result:
-// the Table II scalar profile of the graph, served from the suite's
-// memoized CharacterizeGraph run.
-type CharacterizeResponse struct {
-	Dataset       string  `json:"dataset"`
-	Display       string  `json:"display"`
-	Vertices      int     `json:"vertices"`
-	Edges         int64   `json:"edges"`
-	Directed      bool    `json:"directed"`
-	Diameter      int     `json:"diameter"`
-	ASP           float64 `json:"asp"`
-	MeanDegree    float64 `json:"mean_degree"`
-	MeanInDegree  float64 `json:"mean_in_degree"`
-	MeanOutDegree float64 `json:"mean_out_degree"`
-	Reciprocity   float64 `json:"reciprocity"`
-	Assortativity float64 `json:"assortativity"`
-	Degeneracy    int     `json:"degeneracy"`
-	DegreeGini    float64 `json:"degree_gini"`
-	// DegreeFitBest is the winning family of the CSN degree-fit
-	// comparison ("power-law", "log-normal", "exponential").
-	DegreeFitBest  string  `json:"degree_fit_best,omitempty"`
-	ClusteringMean float64 `json:"clustering_mean"`
-	Groups         int     `json:"groups"`
-}
-
-// httpErr pairs a client-facing message with its status code.
+// httpErr pairs a client-facing message with its HTTP status and the
+// envelope's machine-readable code.
 type httpErr struct {
 	status int
+	code   string
 	msg    string
 }
 
 func (e *httpErr) Error() string { return e.msg }
 
-func badRequest(format string, args ...any) *httpErr {
-	return &httpErr{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+// apiError renders the httpErr as the wire envelope's Error.
+func (e *httpErr) apiError() *api.Error {
+	return &api.Error{Code: e.code, Message: e.msg}
+}
+
+func badRequest(code, format string, args ...any) *httpErr {
+	return &httpErr{status: http.StatusBadRequest, code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+// errorBody marshals the uniform error envelope for a pooled result.
+func errorBody(code, format string, args ...any) []byte {
+	return api.ErrorBody(code, fmt.Sprintf(format, args...))
 }
 
 // scoreJob is a validated, resolved score request ready for the pool.
 type scoreJob struct {
-	req     ScoreRequest
+	req     api.ScoreRequest
 	ds      *synth.Dataset
 	members []graph.VID // sorted, deduplicated dense indices
 	funcs   []score.Func
@@ -110,12 +62,12 @@ type scoreJob struct {
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	s.mRequests.Inc()
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "draining"})
+		writeError(w, http.StatusServiceUnavailable, api.CodeDraining, "draining")
 		return
 	}
-	job, herr := s.resolveScore(r)
+	job, herr := s.resolveScoreBody(http.MaxBytesReader(nil, r.Body, maxScoreBodyBytes))
 	if herr != nil {
-		writeJSON(w, herr.status, errorResponse{Error: herr.msg})
+		writeError(w, herr.status, herr.code, herr.msg)
 		return
 	}
 	s.dispatch(w, r, job.key, func() func(ctx context.Context) ([]byte, int) {
@@ -125,26 +77,33 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// resolveScore decodes and validates the request body and resolves
-// every name (dataset, group, members, functions) against the suite.
-func (s *Server) resolveScore(r *http.Request) (*scoreJob, *httpErr) {
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+// resolveScoreBody decodes one JSON score request from body and
+// resolves it; the shared front half of the unary handler and each
+// batch line.
+func (s *Server) resolveScoreBody(body io.Reader) (*scoreJob, *httpErr) {
+	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
-	var req ScoreRequest
+	var req api.ScoreRequest
 	if err := dec.Decode(&req); err != nil {
-		return nil, badRequest("invalid request body: %v", err)
+		return nil, badRequest(api.CodeInvalidRequest, "invalid request body: %v", err)
 	}
+	return s.resolveScore(req)
+}
+
+// resolveScore validates a decoded request and resolves every name
+// (dataset, group, members, functions) against the suite.
+func (s *Server) resolveScore(req api.ScoreRequest) (*scoreJob, *httpErr) {
 	if req.Dataset == "" {
-		return nil, badRequest("dataset is required")
+		return nil, badRequest(api.CodeInvalidRequest, "dataset is required")
 	}
 	if (req.Group == "") == (len(req.Members) == 0) {
-		return nil, badRequest("exactly one of group and members must be set")
+		return nil, badRequest(api.CodeInvalidRequest, "exactly one of group and members must be set")
 	}
 	if req.NullSamples < 0 {
-		return nil, badRequest("null_samples must be >= 0")
+		return nil, badRequest(api.CodeInvalidRequest, "null_samples must be >= 0")
 	}
 	if req.NullSamples > s.opts.MaxNullSamples {
-		return nil, badRequest("null_samples %d exceeds the limit %d", req.NullSamples, s.opts.MaxNullSamples)
+		return nil, badRequest(api.CodeInvalidRequest, "null_samples %d exceeds the limit %d", req.NullSamples, s.opts.MaxNullSamples)
 	}
 	if req.Seed == 0 {
 		req.Seed = 1
@@ -153,16 +112,16 @@ func (s *Server) resolveScore(r *http.Request) (*scoreJob, *httpErr) {
 		req.Seed = 0 // seed is meaningless without the empirical null; normalize for coalescing
 	}
 
-	ds, status, err := s.suiteDataset(req.Dataset)
-	if err != nil {
-		return nil, &httpErr{status: status, msg: err.Error()}
+	ds, herr := s.suiteDataset(req.Dataset)
+	if herr != nil {
+		return nil, herr
 	}
 
 	var members []graph.VID
 	if req.Group != "" {
 		shared, ok := s.groupMembers(req.Dataset, ds, req.Group)
 		if !ok {
-			return nil, &httpErr{status: http.StatusNotFound,
+			return nil, &httpErr{status: http.StatusNotFound, code: api.CodeUnknownGroup,
 				msg: fmt.Sprintf("group %q: not in dataset %s", req.Group, req.Dataset)}
 		}
 		// Clone: the index hands out the data set's own membership slice
@@ -174,14 +133,14 @@ func (s *Server) resolveScore(r *http.Request) (*scoreJob, *httpErr) {
 		for _, id := range req.Members {
 			v, ok := ds.Graph.Lookup(id)
 			if !ok {
-				return nil, badRequest("member %d: not in dataset %s", id, req.Dataset)
+				return nil, badRequest(api.CodeUnknownMember, "member %d: not in dataset %s", id, req.Dataset)
 			}
 			members = append(members, v)
 		}
 	}
 	members = canonicalMembers(members)
 	if len(members) == 0 {
-		return nil, badRequest("empty vertex set")
+		return nil, badRequest(api.CodeInvalidRequest, "empty vertex set")
 	}
 
 	if len(req.Funcs) == 0 {
@@ -189,7 +148,7 @@ func (s *Server) resolveScore(r *http.Request) (*scoreJob, *httpErr) {
 	}
 	fns, err := score.ByName(req.Funcs...)
 	if err != nil {
-		return nil, badRequest("%v", err)
+		return nil, badRequest(api.CodeUnknownFunc, "%v", err)
 	}
 	for _, f := range fns {
 		// The triangle-density score is an experimental surface: its
@@ -197,7 +156,7 @@ func (s *Server) resolveScore(r *http.Request) (*scoreJob, *httpErr) {
 		// so requests must opt in when the server was launched with it.
 		if f.Name == "cohesion" {
 			if err := s.opts.Experiments.Require(experiments.TriangleCohesion); err != nil {
-				return nil, badRequest("%v", err)
+				return nil, badRequest(api.CodeExperimentGated, "%v", err)
 			}
 		}
 	}
@@ -225,11 +184,12 @@ func canonicalMembers(members []graph.VID) []graph.VID {
 	return members[:w]
 }
 
-// scoreKey derives the coalescing key: dataset + group + canonical set
-// hash + functions + null-model parameters. Two requests with equal keys
-// are guaranteed byte-identical responses, which is what makes answering
-// both from one execution sound.
-func scoreKey(req *ScoreRequest, members []graph.VID) string {
+// scoreKey derives the coalescing and cache key: dataset + group +
+// canonical set hash + functions + null-model parameters. Two requests
+// with equal keys are guaranteed byte-identical responses, which is
+// what makes answering both from one execution — or from the result
+// cache — sound.
+func scoreKey(req *api.ScoreRequest, members []graph.VID) string {
 	h := fnv.New64a()
 	var buf [8]byte
 	writeField := func(s string) {
@@ -277,11 +237,11 @@ func (s *Server) groupMembers(name string, ds *synth.Dataset, group string) ([]g
 // deadline passes.
 func (s *Server) runScore(ctx context.Context, job *scoreJob) ([]byte, int) {
 	if err := ctx.Err(); err != nil {
-		return errorBody(fmt.Sprintf("cancelled before scoring: %v", err)), http.StatusServiceUnavailable
+		return errorBody(api.CodeCancelled, "cancelled before scoring: %v", err), http.StatusServiceUnavailable
 	}
 	g := job.ds.Graph
 	sctx := s.suite.ScoreContext(g)
-	resp := ScoreResponse{
+	resp := api.ScoreResponse{
 		Dataset: job.req.Dataset,
 		Group:   job.req.Group,
 		Null:    "analytic",
@@ -295,9 +255,9 @@ func (s *Server) runScore(ctx context.Context, job *scoreJob) ([]byte, int) {
 		})
 		if err != nil {
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-				return errorBody(fmt.Sprintf("null-model sampling cancelled: %v", err)), http.StatusServiceUnavailable
+				return errorBody(api.CodeCancelled, "null-model sampling cancelled: %v", err), http.StatusServiceUnavailable
 			}
-			return errorBody(fmt.Sprintf("null-model sampling: %v", err)), http.StatusInternalServerError
+			return errorBody(api.CodeInternal, "null-model sampling: %v", err), http.StatusInternalServerError
 		}
 		defer est.Close()
 		// A private context: the shared analytic one must never be
@@ -322,24 +282,24 @@ func (s *Server) runScore(ctx context.Context, job *scoreJob) ([]byte, int) {
 
 	body, err := json.Marshal(resp)
 	if err != nil {
-		return errorBody(fmt.Sprintf("encode response: %v", err)), http.StatusInternalServerError
+		return errorBody(api.CodeInternal, "encode response: %v", err), http.StatusInternalServerError
 	}
 	return body, http.StatusOK
 }
 
 // handleCharacterize serves the memoized Table II profile of a data set
 // through the pool: the first request pays the BFS sweeps and clustering
-// samples (coalesced across a herd), later ones hit the suite cache.
+// samples (coalesced across a herd), later ones hit the result cache.
 func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 	s.mRequests.Inc()
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "draining"})
+		writeError(w, http.StatusServiceUnavailable, api.CodeDraining, "draining")
 		return
 	}
 	name := r.PathValue("dataset")
-	ds, status, err := s.suiteDataset(name)
-	if err != nil {
-		writeJSON(w, status, errorResponse{Error: err.Error()})
+	ds, herr := s.suiteDataset(name)
+	if herr != nil {
+		writeError(w, herr.status, herr.code, herr.msg)
 		return
 	}
 	s.dispatch(w, r, "characterize/"+name, func() func(ctx context.Context) ([]byte, int) {
@@ -354,13 +314,13 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 // (the profile computation is the atomic unit, like an experiment).
 func (s *Server) runCharacterize(ctx context.Context, name string, ds *synth.Dataset) ([]byte, int) {
 	if err := ctx.Err(); err != nil {
-		return errorBody(fmt.Sprintf("cancelled before characterization: %v", err)), http.StatusServiceUnavailable
+		return errorBody(api.CodeCancelled, "cancelled before characterization: %v", err), http.StatusServiceUnavailable
 	}
 	p, err := s.suite.Profile(ds)
 	if err != nil {
-		return errorBody(fmt.Sprintf("characterize %s: %v", name, err)), http.StatusInternalServerError
+		return errorBody(api.CodeInternal, "characterize %s: %v", name, err), http.StatusInternalServerError
 	}
-	resp := CharacterizeResponse{
+	resp := api.CharacterizeResponse{
 		Dataset:        name,
 		Display:        p.Name,
 		Vertices:       p.Vertices,
@@ -383,7 +343,7 @@ func (s *Server) runCharacterize(ctx context.Context, name string, ds *synth.Dat
 	}
 	body, err := json.Marshal(resp)
 	if err != nil {
-		return errorBody(fmt.Sprintf("encode response: %v", err)), http.StatusInternalServerError
+		return errorBody(api.CodeInternal, "encode response: %v", err), http.StatusInternalServerError
 	}
 	return body, http.StatusOK
 }

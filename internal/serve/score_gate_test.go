@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"gpluscircles/internal/experiments"
+	"gpluscircles/internal/serve/api"
 )
 
 // TestScoreCohesionGate: the triangle-density score is an experimental
@@ -15,7 +16,7 @@ import (
 // a 400 pointing at the opt-in, and with the opt-in it must score.
 func TestScoreCohesionGate(t *testing.T) {
 	group, _ := firstGroup(t, "gplus")
-	req := ScoreRequest{Dataset: "gplus", Group: group, Funcs: []string{"cohesion"}}
+	req := api.ScoreRequest{Dataset: "gplus", Group: group, Funcs: []string{"cohesion"}}
 
 	t.Run("gated", func(t *testing.T) {
 		s := newTestServer(t, Options{})
@@ -27,6 +28,9 @@ func TestScoreCohesionGate(t *testing.T) {
 		}
 		if !strings.Contains(string(body), "triangle-cohesion") {
 			t.Errorf("error does not name the opt-in: %s", body)
+		}
+		if e, ok := api.DecodeError(body); !ok || e.Code != api.CodeExperimentGated {
+			t.Errorf("gate rejection is not the experiment_gated envelope: %s", body)
 		}
 	})
 
@@ -42,7 +46,7 @@ func TestScoreCohesionGate(t *testing.T) {
 		if status != http.StatusOK {
 			t.Fatalf("status = %d, want 200 (body %s)", status, body)
 		}
-		var resp ScoreResponse
+		var resp api.ScoreResponse
 		if err := json.Unmarshal(body, &resp); err != nil {
 			t.Fatalf("unmarshal: %v", err)
 		}
@@ -54,7 +58,7 @@ func TestScoreCohesionGate(t *testing.T) {
 			t.Errorf("cohesion %v outside [0,1]", c)
 		}
 		// The other paper functions stay available alongside the gated one.
-		both := ScoreRequest{Dataset: "gplus", Group: group, Funcs: []string{"conductance", "cohesion"}}
+		both := api.ScoreRequest{Dataset: "gplus", Group: group, Funcs: []string{"conductance", "cohesion"}}
 		if status, body, _ := postScore(t, ts.Client(), ts.URL, both); status != http.StatusOK {
 			t.Errorf("mixed funcs: status %d, body %s", status, body)
 		}

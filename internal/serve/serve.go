@@ -1,7 +1,10 @@
 // Package serve turns the reproduction into a long-lived analysis
 // service: it loads the synthetic data sets once into a shared
 // core.Suite and answers per-group community-scoring queries over HTTP,
-// the same request/response shape as an inference server.
+// the same request/response shape as an inference server. The wire
+// contract — every /v1 request, response and error body — lives in the
+// internal/serve/api package; this package owns only the execution
+// machinery behind it.
 //
 // Production shape is the point of the package:
 //
@@ -15,6 +18,15 @@
 //     costs one execution. Coalesced hits are counted in /metrics
 //     (serve.coalesced) and marked with an X-Coalesced response header;
 //     response bodies are byte-identical across the herd.
+//   - A bounded LRU result cache sits in front of the pool, keyed by the
+//     same canonical request hash: coalescing collapses concurrent
+//     duplicates, the cache collapses sequential ones. Hits return the
+//     original computation's exact bytes with an X-Cache: hit header and
+//     are counted as serve.cache.{hits,misses,evictions}.
+//   - POST /v1/score/batch streams NDJSON requests through the same
+//     cache and scoring path with bounded in-flight lines and per-line
+//     error isolation, so one connection can replay millions of
+//     requests (batch.go; gated as the batch-scoring experiment).
 //   - Every queued call carries a context with the server's per-request
 //     deadline; the deadline covers queue wait, and cancellation (client
 //     gone, server draining) propagates into the null-model estimator's
@@ -23,16 +35,19 @@
 //     queued work, join the workers. The owning binary then flushes a
 //     final obs manifest.
 //
-// Endpoints: POST /v1/score, GET /v1/characterize/{dataset},
-// GET /v1/datasets, GET /v1/experiments, GET /healthz, GET /metrics.
-// /v1/experiments lists the experiments registry with this process's
-// per-run enablement (Options.Experiments, wired from -experiments), so
-// an operator can see which no-compatibility-promise surfaces a running
-// service has opted into.
+// Endpoints: POST /v1/score, POST /v1/score/batch,
+// GET /v1/characterize/{dataset}, GET /v1/datasets,
+// GET /v1/experiments, GET /healthz, GET /metrics. Every non-2xx
+// response is api's uniform JSON error envelope with a machine-readable
+// code. /v1/experiments lists the experiments registry with this
+// process's per-run enablement (Options.Experiments, wired from
+// -experiments), so an operator can see which no-compatibility-promise
+// surfaces a running service has opted into.
 //
 // Determinism note: responses are pure functions of the request and the
 // suite's (scale, seed) — scores never depend on worker scheduling,
-// coalescing, or instrumentation, which is what makes coalescing sound.
+// coalescing, caching, or instrumentation, which is what makes both
+// coalescing and the result cache sound.
 package serve
 
 import (
@@ -52,6 +67,7 @@ import (
 	"gpluscircles/internal/experiments"
 	"gpluscircles/internal/graph"
 	"gpluscircles/internal/obs"
+	"gpluscircles/internal/serve/api"
 	"gpluscircles/internal/synth"
 )
 
@@ -67,6 +83,14 @@ type Options struct {
 	// QueueDepth bounds the number of accepted-but-unstarted calls;
 	// <= 0 selects 64. A full queue is answered with 429 + Retry-After.
 	QueueDepth int
+	// CacheSize bounds the LRU result cache (entries); 0 selects 1024,
+	// negative disables caching entirely.
+	CacheSize int
+	// BatchInFlight bounds the concurrently executing lines of one
+	// POST /v1/score/batch request; <= 0 selects Workers. It is also
+	// the read-ahead bound, so a slow consumer backpressures the
+	// request stream instead of buffering it.
+	BatchInFlight int
 	// RequestTimeout bounds one call from enqueue to completion
 	// (queue wait included); <= 0 selects 30s.
 	RequestTimeout time.Duration
@@ -101,6 +125,12 @@ func (o Options) withDefaults() Options {
 	if o.QueueDepth <= 0 {
 		o.QueueDepth = 64
 	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 1024
+	}
+	if o.BatchInFlight <= 0 {
+		o.BatchInFlight = o.Workers
+	}
 	if o.RequestTimeout <= 0 {
 		o.RequestTimeout = 30 * time.Second
 	}
@@ -127,6 +157,7 @@ type Server struct {
 	suite *core.Suite
 	rec   *obs.Recorder
 	mux   *http.ServeMux
+	cache *resultCache
 
 	queue   chan *call
 	qmu     sync.Mutex // guards qclosed and the send-vs-close race
@@ -141,14 +172,17 @@ type Server struct {
 	groupsMu sync.Mutex
 	groups   map[string]map[string][]graph.VID // dataset -> group -> members
 
-	mRequests  *obs.Counter
-	mScored    *obs.Counter
-	mCoalesced *obs.Counter
-	mRejected  *obs.Counter
-	mErrors    *obs.Counter
-	gQueue     *obs.Gauge
-	tRequest   *obs.Timer
-	tScore     *obs.Timer
+	mRequests   *obs.Counter
+	mScored     *obs.Counter
+	mCoalesced  *obs.Counter
+	mRejected   *obs.Counter
+	mErrors     *obs.Counter
+	mBatchReqs  *obs.Counter
+	mBatchLines *obs.Counter
+	mBatchErrs  *obs.Counter
+	gQueue      *obs.Gauge
+	tRequest    *obs.Timer
+	tScore      *obs.Timer
 }
 
 // NewServer builds the service around a shared suite. Call Start (or
@@ -162,19 +196,24 @@ func NewServer(opts Options) (*Server, error) {
 		opts:  opts,
 		suite: opts.Suite,
 		rec:   opts.Recorder,
+		cache: newResultCache(opts.CacheSize, opts.Recorder),
 		queue: make(chan *call, opts.QueueDepth),
 
-		mRequests:  opts.Recorder.Counter("serve.requests"),
-		mScored:    opts.Recorder.Counter("serve.scored"),
-		mCoalesced: opts.Recorder.Counter("serve.coalesced"),
-		mRejected:  opts.Recorder.Counter("serve.rejected"),
-		mErrors:    opts.Recorder.Counter("serve.errors"),
-		gQueue:     opts.Recorder.Gauge("serve.queue.depth"),
-		tRequest:   opts.Recorder.Timer("serve/request"),
-		tScore:     opts.Recorder.Timer("serve/score"),
+		mRequests:   opts.Recorder.Counter("serve.requests"),
+		mScored:     opts.Recorder.Counter("serve.scored"),
+		mCoalesced:  opts.Recorder.Counter("serve.coalesced"),
+		mRejected:   opts.Recorder.Counter("serve.rejected"),
+		mErrors:     opts.Recorder.Counter("serve.errors"),
+		mBatchReqs:  opts.Recorder.Counter("serve.batch.requests"),
+		mBatchLines: opts.Recorder.Counter("serve.batch.lines"),
+		mBatchErrs:  opts.Recorder.Counter("serve.batch.line_errors"),
+		gQueue:      opts.Recorder.Gauge("serve.queue.depth"),
+		tRequest:    opts.Recorder.Timer("serve/request"),
+		tScore:      opts.Recorder.Timer("serve/score"),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/score", s.handleScore)
+	mux.HandleFunc("POST /v1/score/batch", s.handleScoreBatch)
 	mux.HandleFunc("GET /v1/characterize/{dataset}", s.handleCharacterize)
 	mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
@@ -217,15 +256,27 @@ func (s *Server) worker() {
 		if hook := s.opts.workerHook; hook != nil {
 			hook(c)
 		}
-		start := obs.Now()
-		body, status := c.run(c.ctx)
-		s.tScore.Observe(obs.Since(start))
-		if status >= 500 {
-			s.mErrors.Inc()
-		}
-		c.finish(body, status)
-		s.flight.forget(c.key)
+		s.execute(c)
 	}
+}
+
+// execute runs one call to completion: the shared tail of the pool
+// worker and the batch line path. It times the execution, publishes the
+// result to every coalesced waiter, retires the flight key, and feeds
+// the result cache — 200 bodies only, so every future hit returns the
+// exact bytes computed here.
+func (s *Server) execute(c *call) {
+	start := obs.Now()
+	body, status := c.run(c.ctx)
+	s.tScore.Observe(obs.Since(start))
+	if status >= 500 {
+		s.mErrors.Inc()
+	}
+	if status == http.StatusOK {
+		s.cache.add(c.key, body)
+	}
+	c.finish(body, status)
+	s.flight.forget(c.key)
 }
 
 // enqueue offers the call to the pool without blocking. It reports false
@@ -319,12 +370,20 @@ func (s *Server) ServeListener(ctx context.Context, ln net.Listener) error {
 	return serveErr
 }
 
-// dispatch funnels one request through coalescing, the bounded queue and
-// the wait loop. key identifies the work for coalescing; mkRun builds
-// the executable for the leader. The response (or backpressure error) is
-// written to w.
+// dispatch funnels one request through the result cache, coalescing,
+// the bounded queue and the wait loop. key identifies the work for
+// caching and coalescing; mkRun builds the executable for the leader.
+// The response (or backpressure error) is written to w.
 func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, key string, mkRun func() func(ctx context.Context) ([]byte, int)) {
 	start := obs.Now()
+	if body, ok := s.cache.get(key); ok {
+		w.Header().Set("X-Cache", "hit")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(body)
+		s.tRequest.Observe(obs.Since(start))
+		return
+	}
 	c, leader := s.flight.join(key, func() *call {
 		ctx, cancel := context.WithTimeout(context.Background(), s.opts.RequestTimeout)
 		return &call{
@@ -340,11 +399,11 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, key string, mk
 			// Publish the rejection on the call so any follower that
 			// joined between join and forget completes too, then answer
 			// the leader. Queue-full and draining are both shed here.
-			status := http.StatusTooManyRequests
+			status, code, msg := http.StatusTooManyRequests, api.CodeQueueFull, "queue full"
 			if s.draining.Load() {
-				status = http.StatusServiceUnavailable
+				status, code, msg = http.StatusServiceUnavailable, api.CodeDraining, "draining"
 			}
-			c.finish(errorBody("queue full"), status)
+			c.finish(api.ErrorBody(code, msg), status)
 			s.flight.forget(key)
 			s.mRejected.Inc()
 		}
@@ -382,48 +441,29 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": status})
 }
 
-// metricsResponse is the /metrics payload: the recorder snapshot plus
-// the server's uptime.
-type metricsResponse struct {
-	UptimeSeconds float64      `json:"uptime_seconds"`
-	Metrics       obs.Snapshot `json:"metrics"`
-}
-
 // handleMetrics renders the recorder snapshot as JSON, expvar-style.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, metricsResponse{
+	writeJSON(w, http.StatusOK, api.MetricsResponse{
 		UptimeSeconds: obs.Since(s.rec.Start()).Seconds(),
 		Metrics:       s.rec.Snapshot(),
 	})
 }
 
-// DatasetInfo is one /v1/datasets inventory entry.
-type DatasetInfo struct {
-	// Name is the registry name used in score/characterize requests.
-	Name string `json:"name"`
-	// Display is the data set's report name (e.g. "Google+").
-	Display  string   `json:"display"`
-	Vertices int      `json:"vertices"`
-	Edges    int64    `json:"edges"`
-	Directed bool     `json:"directed"`
-	Kind     string   `json:"kind"`
-	Groups   []string `json:"groups"`
-}
-
 // handleDatasets inventories the suite's data sets (generating them on
 // first touch — circled pre-warms at startup so steady-state calls are
-// cheap). circleload uses this to build its request mix.
+// cheap). circleload uses this to build its request mix; circlerouter
+// hashes requests on the Name field.
 func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
 	s.mRequests.Inc()
-	out := make([]DatasetInfo, 0, len(core.DatasetNames()))
+	out := make([]api.DatasetInfo, 0, len(core.DatasetNames()))
 	for _, name := range core.DatasetNames() {
 		ds, err := s.suite.DatasetByName(name)
 		if err != nil {
 			s.mErrors.Inc()
-			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+			writeError(w, http.StatusInternalServerError, api.CodeInternal, err.Error())
 			return
 		}
-		info := DatasetInfo{
+		info := api.DatasetInfo{
 			Name:     name,
 			Display:  ds.Name,
 			Vertices: ds.Graph.NumVertices(),
@@ -440,22 +480,14 @@ func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// ExperimentInfo is one /v1/experiments entry: a registered experiment
-// and whether this process enabled it.
-type ExperimentInfo struct {
-	Name    string `json:"name"`
-	Doc     string `json:"doc"`
-	Enabled bool   `json:"enabled"`
-}
-
 // handleExperiments lists the experiments registry with the per-run
 // enablement, sorted by name (experiments.All's order).
 func (s *Server) handleExperiments(w http.ResponseWriter, _ *http.Request) {
 	s.mRequests.Inc()
 	all := experiments.All()
-	out := make([]ExperimentInfo, 0, len(all))
+	out := make([]api.ExperimentInfo, 0, len(all))
 	for _, exp := range all {
-		out = append(out, ExperimentInfo{
+		out = append(out, api.ExperimentInfo{
 			Name:    exp.Name,
 			Doc:     exp.Doc,
 			Enabled: s.opts.Experiments.Enabled(exp.Name),
@@ -464,15 +496,14 @@ func (s *Server) handleExperiments(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// errorResponse is the JSON error envelope of every non-2xx response.
-type errorResponse struct {
-	Error string `json:"error"`
-}
-
-// errorBody marshals the error envelope (never fails for a plain string).
-func errorBody(msg string) []byte {
-	b, _ := json.Marshal(errorResponse{Error: msg})
-	return b
+// writeError writes the uniform JSON error envelope (api.ErrorResponse)
+// with the given status and machine-readable code. Every non-2xx
+// response of the service flows through here, errorBody, or a
+// pre-encoded envelope published on a call.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(api.ErrorBody(code, msg))
 }
 
 // writeJSON writes a JSON response with the given status.
@@ -485,13 +516,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 // suiteDataset exists so score.go can share the one lookup-and-classify
 // path for dataset resolution errors.
-func (s *Server) suiteDataset(name string) (*synth.Dataset, int, error) {
+func (s *Server) suiteDataset(name string) (*synth.Dataset, *httpErr) {
 	ds, err := s.suite.DatasetByName(name)
 	if err != nil {
 		if errors.Is(err, core.ErrUnknownDataset) {
-			return nil, http.StatusNotFound, err
+			return nil, &httpErr{status: http.StatusNotFound, code: api.CodeUnknownDataset, msg: err.Error()}
 		}
-		return nil, http.StatusInternalServerError, err
+		return nil, &httpErr{status: http.StatusInternalServerError, code: api.CodeInternal, msg: err.Error()}
 	}
-	return ds, 0, nil
+	return ds, nil
 }

@@ -18,6 +18,7 @@ import (
 	"gpluscircles/internal/core"
 	"gpluscircles/internal/experiments"
 	"gpluscircles/internal/obs"
+	"gpluscircles/internal/serve/api"
 )
 
 // testSuite is shared across tests: the suite's caches are read-only
@@ -60,7 +61,7 @@ func newTestServer(t *testing.T, opts Options) *Server {
 
 // postScore sends one score request to the httptest server and returns
 // status, body and the coalesced marker.
-func postScore(t *testing.T, client *http.Client, url string, req ScoreRequest) (int, []byte, bool) {
+func postScore(t *testing.T, client *http.Client, url string, req api.ScoreRequest) (int, []byte, bool) {
 	t.Helper()
 	b, err := json.Marshal(req)
 	if err != nil {
@@ -103,11 +104,11 @@ func TestScoreEndpoint(t *testing.T) {
 	defer ts.Close()
 	group, ids := firstGroup(t, "gplus")
 
-	status, byGroup, _ := postScore(t, ts.Client(), ts.URL, ScoreRequest{Dataset: "gplus", Group: group})
+	status, byGroup, _ := postScore(t, ts.Client(), ts.URL, api.ScoreRequest{Dataset: "gplus", Group: group})
 	if status != http.StatusOK {
 		t.Fatalf("by group: status %d, body %s", status, byGroup)
 	}
-	var resp ScoreResponse
+	var resp api.ScoreResponse
 	if err := json.Unmarshal(byGroup, &resp); err != nil {
 		t.Fatalf("unmarshal: %v", err)
 	}
@@ -126,11 +127,11 @@ func TestScoreEndpoint(t *testing.T) {
 	// The same set by member IDs, shuffled and with a duplicate, must
 	// canonicalize to the same scores.
 	shuffled := append([]int64{ids[len(ids)-1]}, ids...)
-	status, byMembers, _ := postScore(t, ts.Client(), ts.URL, ScoreRequest{Dataset: "gplus", Members: shuffled})
+	status, byMembers, _ := postScore(t, ts.Client(), ts.URL, api.ScoreRequest{Dataset: "gplus", Members: shuffled})
 	if status != http.StatusOK {
 		t.Fatalf("by members: status %d, body %s", status, byMembers)
 	}
-	var mresp ScoreResponse
+	var mresp api.ScoreResponse
 	if err := json.Unmarshal(byMembers, &mresp); err != nil {
 		t.Fatalf("unmarshal: %v", err)
 	}
@@ -146,7 +147,7 @@ func TestScoreEndpoint(t *testing.T) {
 
 	// The empirical null with a fixed seed must be deterministic:
 	// byte-identical bodies across sequential (non-coalesced) requests.
-	req := ScoreRequest{Dataset: "twitter", Group: firstGroupName(t, "twitter"), NullSamples: 4, Seed: 7}
+	req := api.ScoreRequest{Dataset: "twitter", Group: firstGroupName(t, "twitter"), NullSamples: 4, Seed: 7}
 	_, first, _ := postScore(t, ts.Client(), ts.URL, req)
 	_, second, _ := postScore(t, ts.Client(), ts.URL, req)
 	if !bytes.Equal(first, second) {
@@ -191,13 +192,12 @@ func TestScoreValidation(t *testing.T) {
 				t.Fatalf("post: %v", err)
 			}
 			defer resp.Body.Close()
+			body, _ := io.ReadAll(resp.Body)
 			if resp.StatusCode != tc.want {
-				body, _ := io.ReadAll(resp.Body)
 				t.Errorf("status = %d, want %d (body %s)", resp.StatusCode, tc.want, body)
 			}
-			var e errorResponse
-			if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
-				t.Errorf("error envelope missing (decode err %v)", err)
+			if e, ok := api.DecodeError(body); !ok || e.Code == "" {
+				t.Errorf("error envelope missing or malformed: %s", body)
 			}
 		})
 	}
@@ -225,7 +225,7 @@ func TestCharacterizeAndInventory(t *testing.T) {
 	if status != http.StatusOK {
 		t.Fatalf("characterize: status %d, body %s", status, body)
 	}
-	var ch CharacterizeResponse
+	var ch api.CharacterizeResponse
 	if err := json.Unmarshal(body, &ch); err != nil {
 		t.Fatalf("unmarshal: %v", err)
 	}
@@ -244,7 +244,7 @@ func TestCharacterizeAndInventory(t *testing.T) {
 	if status != http.StatusOK {
 		t.Fatalf("datasets: status %d", status)
 	}
-	var infos []DatasetInfo
+	var infos []api.DatasetInfo
 	if err := json.Unmarshal(body, &infos); err != nil {
 		t.Fatalf("unmarshal: %v", err)
 	}
@@ -270,7 +270,7 @@ func TestCharacterizeAndInventory(t *testing.T) {
 	if status != http.StatusOK {
 		t.Fatalf("metrics: status %d", status)
 	}
-	var m metricsResponse
+	var m api.MetricsResponse
 	if err := json.Unmarshal(body, &m); err != nil {
 		t.Fatalf("unmarshal metrics: %v", err)
 	}
@@ -316,7 +316,7 @@ func TestCoalescing(t *testing.T) {
 	// Leader: identical score requests; the first becomes leader and sits
 	// in the queue behind the blocked worker, the rest join its call.
 	const followers = 4
-	body, _ := json.Marshal(ScoreRequest{Dataset: "gplus", Group: group})
+	body, _ := json.Marshal(api.ScoreRequest{Dataset: "gplus", Group: group})
 	results := make([][]byte, followers+1)
 	statuses := make([]int, followers+1)
 	coalesced := make([]bool, followers+1)
@@ -404,7 +404,7 @@ func TestBackpressure(t *testing.T) {
 
 	var wg sync.WaitGroup
 	codes := make([]int, 2)
-	send := func(i int, req ScoreRequest) {
+	send := func(i int, req api.ScoreRequest) {
 		defer wg.Done()
 		b, _ := json.Marshal(req)
 		w := httptest.NewRecorder()
@@ -414,15 +414,15 @@ func TestBackpressure(t *testing.T) {
 	}
 	// First request: dequeued and held by the worker.
 	wg.Add(1)
-	go send(0, ScoreRequest{Dataset: "gplus", Group: group})
+	go send(0, api.ScoreRequest{Dataset: "gplus", Group: group})
 	<-entered
 	// Second, distinct request: fills the queue's only slot.
 	wg.Add(1)
-	go send(1, ScoreRequest{Dataset: "gplus", Members: ids[:2]})
+	go send(1, api.ScoreRequest{Dataset: "gplus", Members: ids[:2]})
 	waitFor(t, func() bool { return len(s.queue) == 1 })
 
 	// Third, distinct again: must be shed synchronously.
-	b, _ := json.Marshal(ScoreRequest{Dataset: "gplus", Members: ids[:3]})
+	b, _ := json.Marshal(api.ScoreRequest{Dataset: "gplus", Members: ids[:3]})
 	w := httptest.NewRecorder()
 	r := httptest.NewRequest("POST", "/v1/score", bytes.NewReader(b))
 	s.handleScore(w, r)
@@ -432,9 +432,8 @@ func TestBackpressure(t *testing.T) {
 	if got := w.Header().Get("Retry-After"); got != "3" {
 		t.Errorf("Retry-After = %q, want \"3\"", got)
 	}
-	var e errorResponse
-	if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil || e.Error == "" {
-		t.Errorf("shed body is not the error envelope: %s", w.Body.String())
+	if e, ok := api.DecodeError(w.Body.Bytes()); !ok || e.Code != api.CodeQueueFull {
+		t.Errorf("shed body is not the queue_full envelope: %s", w.Body.String())
 	}
 	if got := rec.Snapshot().Counters["serve.rejected"]; got != 1 {
 		t.Errorf("serve.rejected = %d, want 1", got)
@@ -474,7 +473,7 @@ func TestClientCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan int, 1)
 	go func() {
-		b, _ := json.Marshal(ScoreRequest{Dataset: "twitter", Group: group, NullSamples: 4})
+		b, _ := json.Marshal(api.ScoreRequest{Dataset: "twitter", Group: group, NullSamples: 4})
 		w := httptest.NewRecorder()
 		r := httptest.NewRequest("POST", "/v1/score", bytes.NewReader(b)).WithContext(ctx)
 		s.handleScore(w, r)
@@ -497,7 +496,7 @@ func TestClientCancellation(t *testing.T) {
 	// The worker executes the already-cancelled call; runScore answers
 	// 503 at its cancellation check and the pool moves on — verified by
 	// a follow-up request completing normally.
-	b, _ := json.Marshal(ScoreRequest{Dataset: "gplus", Group: firstGroupName(t, "gplus")})
+	b, _ := json.Marshal(api.ScoreRequest{Dataset: "gplus", Group: firstGroupName(t, "gplus")})
 	respDone := make(chan int, 1)
 	go func() {
 		w := httptest.NewRecorder()
@@ -528,7 +527,7 @@ func TestHammer(t *testing.T) {
 	gplusGroup, gplusIDs := firstGroup(t, "gplus")
 	twitterGroup, _ := firstGroup(t, "twitter")
 
-	reqs := []ScoreRequest{
+	reqs := []api.ScoreRequest{
 		{Dataset: "gplus", Group: gplusGroup},
 		{Dataset: "gplus", Group: gplusGroup, NullSamples: 2, Seed: 3},
 		{Dataset: "twitter", Group: twitterGroup},
@@ -601,7 +600,7 @@ func TestDrain(t *testing.T) {
 	group, _ := firstGroup(t, "gplus")
 	inflight := make(chan int, 1)
 	go func() {
-		status, _, _ := postScore(t, client, base, ScoreRequest{Dataset: "gplus", Group: group})
+		status, _, _ := postScore(t, client, base, api.ScoreRequest{Dataset: "gplus", Group: group})
 		inflight <- status
 	}()
 	<-entered // the worker holds the in-flight request
@@ -628,7 +627,7 @@ func TestDrain(t *testing.T) {
 		t.Error("listener still accepting connections after drain")
 	}
 	// A post-drain dispatch is shed as draining (503, not 429).
-	b, _ := json.Marshal(ScoreRequest{Dataset: "gplus", Group: group})
+	b, _ := json.Marshal(api.ScoreRequest{Dataset: "gplus", Group: group})
 	w := httptest.NewRecorder()
 	r := httptest.NewRequest("POST", "/v1/score", bytes.NewReader(b))
 	s.handleScore(w, r)
@@ -684,7 +683,7 @@ func TestExperimentsEndpoint(t *testing.T) {
 			if resp.StatusCode != http.StatusOK {
 				t.Fatalf("status %d", resp.StatusCode)
 			}
-			var infos []ExperimentInfo
+			var infos []api.ExperimentInfo
 			if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
 				t.Fatalf("unmarshal: %v", err)
 			}

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
-# Load-test smoke for the serving layer: boot circled on an ephemeral
-# port, replay 100 concurrent clients with circleload, then SIGTERM the
-# service and verify the graceful drain.
+# Load-test smoke for the serving tier: boot circled on an ephemeral
+# port, replay 100 concurrent clients with circleload, then do the same
+# through a 2-backend circlerouter — batch mode, with one backend killed
+# mid-run — and finally SIGTERM everything and verify graceful drains.
 #
 # The smoke asserts the serving SLO end to end:
 #   - circleload exits non-zero on any 5xx or transport error, so a
-#     passing run means the service shed overload with 429s only;
+#     passing run means the service shed overload with 429s only and the
+#     router's failover never leaked a backend death to a client;
+#   - the -dup mix must produce result-cache hits (hit rate > 0);
 #   - circled must exit 0 on SIGTERM (clean drain, in-flight work done);
 #   - the final run manifest must parse back via `circlebench compare`.
 set -euo pipefail
@@ -15,37 +18,113 @@ dir="${LOADSMOKE_DIR:-$(mktemp -d)}"
 mkdir -p "$dir"
 go build -o "$dir/circled" ./cmd/circled
 go build -o "$dir/circleload" ./cmd/circleload
+go build -o "$dir/circlerouter" ./cmd/circlerouter
 
-"$dir/circled" -addr 127.0.0.1:0 -scale 0.15 -queue 32 \
-  -manifest "$dir/circled.manifest.jsonl" >"$dir/circled.log" 2>&1 &
-pid=$!
-trap 'kill "$pid" 2>/dev/null || true' EXIT
+# boot_circled NAME EXTRA_ARGS... starts one backend in this shell (so
+# `wait` can observe its exit status) and leaves its resolved host:port
+# in $dir/NAME.addr (the service prints it once warmed).
+boot_circled() {
+  local name=$1; shift
+  "$dir/circled" -addr 127.0.0.1:0 -scale 0.15 -queue 32 "$@" \
+    >"$dir/$name.log" 2>&1 &
+  echo $! >"$dir/$name.pid"
+  local addr=""
+  for _ in $(seq 1 120); do
+    addr=$(sed -n 's/^circled: listening on \([^ ]*\).*/\1/p' "$dir/$name.log")
+    if [ -n "$addr" ] && curl -sf "http://$addr/healthz" >/dev/null 2>&1; then
+      echo "$addr" >"$dir/$name.addr"
+      return 0
+    fi
+    addr=""
+    sleep 0.5
+  done
+  echo "loadsmoke: $name did not come up" >&2
+  cat "$dir/$name.log" >&2
+  return 1
+}
 
-# The service prints its resolved ephemeral address once warmed.
-addr=""
-for _ in $(seq 1 120); do
-  addr=$(sed -n 's/^circled: listening on \([^ ]*\).*/\1/p' "$dir/circled.log")
-  if [ -n "$addr" ] && curl -sf "http://$addr/healthz" >/dev/null 2>&1; then
-    break
-  fi
-  addr=""
-  sleep 0.5
-done
-if [ -z "$addr" ]; then
-  echo "loadsmoke: circled did not come up" >&2
-  cat "$dir/circled.log" >&2
+cleanup() {
+  for f in "$dir"/*.pid; do
+    [ -f "$f" ] && kill "$(cat "$f")" 2>/dev/null || true
+  done
+}
+trap cleanup EXIT
+
+# ---- Leg 1: single backend, unary replay, drain check ----------------
+boot_circled circled -manifest "$dir/circled.manifest.jsonl"
+addr=$(cat "$dir/circled.addr")
+
+"$dir/circleload" -addr "http://$addr" -n 100 -c 100 -dup 0.3 -json \
+  | tee "$dir/unary.report.json"
+
+# The 0.3 duplicate mix must produce result-cache hits.
+hits=$(sed -n 's/.*"server_cache_hits": \([0-9]*\).*/\1/p' "$dir/unary.report.json")
+if [ -z "$hits" ] || [ "$hits" -eq 0 ]; then
+  echo "loadsmoke: no cache hits under a -dup mix (server_cache_hits=$hits)" >&2
   exit 1
 fi
 
-"$dir/circleload" -addr "http://$addr" -n 100 -c 100 -dup 0.3
-
-kill -TERM "$pid"
-if ! wait "$pid"; then
+kill -TERM "$(cat "$dir/circled.pid")"
+if ! wait "$(cat "$dir/circled.pid")"; then
   echo "loadsmoke: circled did not drain cleanly on SIGTERM" >&2
   cat "$dir/circled.log" >&2
   exit 1
 fi
-trap - EXIT
+rm "$dir/circled.pid"
 
 go run ./cmd/circlebench compare "$dir/circled.manifest.jsonl" >/dev/null
+
+# ---- Leg 2: 2-backend router, batch replay, induced backend kill -----
+boot_circled backend1 -manifest "" -experiments batch-scoring
+boot_circled backend2 -manifest "" -experiments batch-scoring
+b1=$(cat "$dir/backend1.addr")
+b2=$(cat "$dir/backend2.addr")
+
+"$dir/circlerouter" -addr 127.0.0.1:0 -backends "http://$b1,http://$b2" \
+  -probe-interval 500ms >"$dir/router.log" 2>&1 &
+echo $! >"$dir/router.pid"
+raddr=""
+for _ in $(seq 1 60); do
+  raddr=$(sed -n 's/^circlerouter: listening on \([^ ]*\).*/\1/p' "$dir/router.log")
+  if [ -n "$raddr" ] && curl -sf "http://$raddr/healthz" >/dev/null 2>&1; then
+    break
+  fi
+  raddr=""
+  sleep 0.5
+done
+if [ -z "$raddr" ]; then
+  echo "loadsmoke: circlerouter did not come up" >&2
+  cat "$dir/router.log" >&2
+  exit 1
+fi
+
+# Kill backend2 mid-replay: the router must fail over with zero 5xx,
+# which circleload's exit code asserts.
+( sleep 2; kill -TERM "$(cat "$dir/backend2.pid")" ) &
+killer=$!
+"$dir/circleload" -addr "http://$raddr" -n 400 -c 8 -dup 0.3 \
+  -batch -batch-size 32 -json | tee "$dir/batch.report.json"
+wait "$killer"
+wait "$(cat "$dir/backend2.pid")" || true
+rm "$dir/backend2.pid"
+
+# The batch replay must have gone through the gated batch endpoint.
+bmode=$(sed -n 's/.*"batch": \(true\|false\).*/\1/p' "$dir/batch.report.json")
+if [ "$bmode" != "true" ]; then
+  echo "loadsmoke: batch replay did not report batch mode" >&2
+  exit 1
+fi
+
+kill -TERM "$(cat "$dir/router.pid")"
+wait "$(cat "$dir/router.pid")" || true
+rm "$dir/router.pid"
+kill -TERM "$(cat "$dir/backend1.pid")"
+if ! wait "$(cat "$dir/backend1.pid")"; then
+  echo "loadsmoke: backend1 did not drain cleanly on SIGTERM" >&2
+  cat "$dir/backend1.log" >&2
+  exit 1
+fi
+rm "$dir/backend1.pid"
+trap - EXIT
+
 echo "loadsmoke: ok (artifacts in $dir)"
