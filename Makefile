@@ -8,7 +8,7 @@ BENCHTIME ?= 1x
 # make profile output directory.
 PROFILE_DIR ?= profile
 
-.PHONY: all build test race vet lint analyze bench bench-scale bench-tri scale-smoke profile fuzz cover-serve loadsmoke clean
+.PHONY: all build test race vet lint analyze bench bench-scale bench-tri bench-ncp scale-smoke profile fuzz cover-serve cover-detect loadsmoke clean
 
 all: build vet lint test
 
@@ -45,7 +45,7 @@ analyze: vet
 		echo "analyze: findings recorded in $(ANALYZE_JSON)"; \
 	fi
 	$(GO) run ./cmd/circlelint .
-	$(GO) test -race -count=1 ./internal/lint/ ./internal/experiments/ ./internal/serve/... ./cmd/circlerouter/
+	$(GO) test -race -count=1 ./internal/lint/ ./internal/experiments/ ./internal/serve/... ./cmd/circlerouter/ ./internal/detect/ ./internal/ncp/
 
 # Emits machine-readable benchmark records (one JSON event per line) so
 # runs on different machines/dates can be diffed with benchstat-style
@@ -84,6 +84,15 @@ bench-tri:
 	$(GO) test -run='^$$' -bench='Triangle|Cohesion' \
 		-benchmem -benchtime=$(BENCHTIME) -json . | tee $(TRI_BENCH_OUT)
 
+# Record the NCP sweep benchmarks: the approximate-PPR network community
+# profile over the shared Google+ data set, serial and fanned out. Both
+# produce the same curve by contract, so the pair isolates fan-out
+# scaling. BENCHTIME=1x is the CI smoke; raise it for recorded runs.
+NCP_BENCH_OUT ?= BENCH_$(DATE)-ncp.json
+bench-ncp:
+	$(GO) test -run='^$$' -bench='NCPSweep' \
+		-benchmem -benchtime=$(BENCHTIME) -json . | tee $(NCP_BENCH_OUT)
+
 # Profile one full circlebench run: CPU profile, heap profile, execution
 # trace, and the JSONL run manifest land in $(PROFILE_DIR). Inspect with
 # `go tool pprof $(PROFILE_DIR)/cpu.pprof`, `go tool trace
@@ -116,6 +125,16 @@ cover-serve:
 		if ($$3+0 < 80) { printf "internal/serve coverage %s%% is below the 80%% floor\n", $$3; exit 1 } \
 		printf "internal/serve coverage %s%% (floor 80%%)\n", $$3 }'
 
+# Coverage floor for the local-clustering kernels: internal/detect now
+# carries the PPR push and sweep-cut machinery behind the NCP workload
+# and must stay >= 80%.
+DETECT_COVER ?= detect.cover.out
+cover-detect:
+	$(GO) test -coverprofile=$(DETECT_COVER) ./internal/detect/
+	$(GO) tool cover -func=$(DETECT_COVER) | awk '/^total:/ { sub(/%/,"",$$3); \
+		if ($$3+0 < 80) { printf "internal/detect coverage %s%% is below the 80%% floor\n", $$3; exit 1 } \
+		printf "internal/detect coverage %s%% (floor 80%%)\n", $$3 }'
+
 # End-to-end load smoke, two legs: (1) circled under 100 concurrent
 # circleload clients — zero 5xx, result-cache hits under a -dup mix,
 # clean SIGTERM drain, parseable final manifest; (2) a 2-backend
@@ -125,5 +144,5 @@ loadsmoke:
 	LOADSMOKE_DIR=$(LOADSMOKE_DIR) ./scripts/loadsmoke.sh
 
 clean:
-	rm -f circlebench BENCH_*.json circlebench.manifest.jsonl circled.manifest.jsonl $(SERVE_COVER)
+	rm -f circlebench BENCH_*.json circlebench.manifest.jsonl circled.manifest.jsonl $(SERVE_COVER) $(DETECT_COVER)
 	rm -rf $(PROFILE_DIR)

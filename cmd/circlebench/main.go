@@ -29,10 +29,11 @@
 // it summarizes a run manifest: meta, per-experiment wall times, stage
 // spans, and hot-path counters.
 //
-// The fig6-scale experiment is gated behind -experiments=scale-pipeline
-// and the cohesion experiment behind -experiments=triangle-cohesion
-// (see internal/experiments); experimental surfaces carry no
-// compatibility promise.
+// The fig6-scale experiment is gated behind -experiments=scale-pipeline,
+// the cohesion experiment behind -experiments=triangle-cohesion, and the
+// ncp experiment (network community profile sweep, tuned by -ncp-seeds
+// and -ncp-eps) behind -experiments=ncp-sweep (see internal/experiments);
+// experimental surfaces carry no compatibility promise.
 //
 // Experiment IDs map to the paper's artifacts (table2, table3, fig2,
 // fig3, fig4, fig5, fig6, directedness, ablation-null, ablation-sampler,
@@ -61,6 +62,7 @@ import (
 	"gpluscircles/internal/core"
 	"gpluscircles/internal/experiments"
 	"gpluscircles/internal/graphalgo"
+	"gpluscircles/internal/ncp"
 	"gpluscircles/internal/obs"
 )
 
@@ -102,6 +104,8 @@ func run() error {
 		list        = flag.Bool("list", false, "list experiment IDs with one-line descriptions and exit")
 		csvDir      = flag.String("csv", "", "also write the figure data series as CSV files into this directory")
 		manifest    = flag.String("manifest", "circlebench.manifest.jsonl", "write the run manifest (JSONL) to this file (empty = disabled)")
+		ncpSeeds    = cliflag.NCPSeeds(flag.CommandLine)
+		ncpEps      = cliflag.NCPEps(flag.CommandLine)
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile (runtime/pprof) to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		tracefile   = flag.String("trace", "", "write a runtime/trace execution trace to this file")
@@ -111,6 +115,17 @@ func run() error {
 	// flag errors instead of having flag.Parse drop them.
 	if err := flag.CommandLine.Parse(os.Args[1:]); err != nil {
 		return err
+	}
+
+	// The ncp experiment lives outside the static registry so that the
+	// default run-all report (and its golden bytes) stays independent of
+	// the experimental surface. It joins the registry only when listed
+	// or selected explicitly.
+	if *list || *experiment == "ncp" {
+		core.RegisterExperiment(ncp.Experiment(ncp.ExperimentOptions{
+			Seeds: *ncpSeeds,
+			Eps:   *ncpEps,
+		}))
 	}
 
 	if *list {
@@ -128,6 +143,10 @@ func run() error {
 		}
 	case "cohesion":
 		if err := exps.Require(experiments.TriangleCohesion); err != nil {
+			return err
+		}
+	case "ncp":
+		if err := exps.Require(experiments.NCPSweep); err != nil {
 			return err
 		}
 	}

@@ -15,6 +15,8 @@
 //	                                arbitrary node set (by external IDs)
 //	POST /v1/score/batch            NDJSON batch scoring (gated as the
 //	                                batch-scoring experiment)
+//	POST /v1/ncp                    network community profile sweep
+//	                                (gated as the ncp-sweep experiment)
 //	GET  /v1/characterize/{dataset} Table II-style graph profile (cached)
 //	GET  /v1/datasets               data-set + group inventory
 //	GET  /v1/experiments            experiments registry + per-run enablement
@@ -39,6 +41,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -47,7 +50,9 @@ import (
 
 	"gpluscircles/internal/cliflag"
 	"gpluscircles/internal/core"
+	"gpluscircles/internal/experiments"
 	"gpluscircles/internal/graphalgo"
+	"gpluscircles/internal/ncp"
 	"gpluscircles/internal/obs"
 	"gpluscircles/internal/serve"
 )
@@ -105,6 +110,9 @@ func run() error {
 		}
 	}
 
+	// The NCP route is mounted unconditionally and gates itself per
+	// request, so a 400 with the experiment-gated code (rather than a
+	// bare 404) tells clients what to enable.
 	srv, err := serve.NewServer(serve.Options{
 		Suite:          suite,
 		Workers:        *workers,
@@ -115,9 +123,15 @@ func run() error {
 		MaxNullSamples: *maxNullSamples,
 		Recorder:       rec,
 		Experiments:    *exps,
+		ExtraRoutes: map[string]http.Handler{
+			"POST /v1/ncp": ncp.Handler(suite, *exps),
+		},
 	})
 	if err != nil {
 		return err
+	}
+	if exps.Enabled(experiments.NCPSweep.Name) {
+		fmt.Fprintln(os.Stderr, "circled: ncp-sweep enabled (POST /v1/ncp is live)")
 	}
 
 	// Bind here rather than in ListenAndServe so the resolved address is

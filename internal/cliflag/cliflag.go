@@ -96,3 +96,18 @@ func Experiments(fs *flag.FlagSet) *experiments.Set {
 func Addr(fs *flag.FlagSet, def string) *string {
 	return fs.String("addr", def, "service address")
 }
+
+// NCPSeeds registers the shared -ncp-seeds flag: how many PPR seed
+// vertices the network-community-profile sweep probes. 32 matches the
+// internal/ncp default.
+func NCPSeeds(fs *flag.FlagSet) *int {
+	return fs.Int("ncp-seeds", 32, "PPR seed vertices probed by the NCP sweep (degree-stratified)")
+}
+
+// NCPEps registers the shared -ncp-eps flag: the approximation
+// tolerance of the PPR push underlying the NCP sweep. Smaller values
+// push more mass and cost more per seed; 1e-4 matches the internal/ncp
+// default.
+func NCPEps(fs *flag.FlagSet) *float64 {
+	return fs.Float64("ncp-eps", 1e-4, "PPR push tolerance for the NCP sweep (residual bound per unit degree)")
+}

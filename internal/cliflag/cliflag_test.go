@@ -39,6 +39,26 @@ func TestSharedFlagConventions(t *testing.T) {
 	}
 }
 
+// TestNCPFlags pins the NCP sweep knobs shared by circlebench; the
+// defaults must track the internal/ncp package defaults.
+func TestNCPFlags(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	seeds := NCPSeeds(fs)
+	eps := NCPEps(fs)
+	if *seeds != 32 {
+		t.Errorf("default ncp-seeds = %d, want 32", *seeds)
+	}
+	if *eps != 1e-4 { //lint:ignore floateq literal default, no arithmetic involved
+		t.Errorf("default ncp-eps = %g, want 1e-4", *eps)
+	}
+	if err := fs.Parse([]string{"-ncp-seeds", "8", "-ncp-eps", "1e-5"}); err != nil {
+		t.Fatal(err)
+	}
+	if *seeds != 8 || *eps != 1e-5 { //lint:ignore floateq parsed literal round-trips exactly
+		t.Errorf("parsed values: ncp-seeds=%d ncp-eps=%g", *seeds, *eps)
+	}
+}
+
 // TestAddrFlag pins the service address flag shared by circled (listen
 // address) and circleload (base URL).
 func TestAddrFlag(t *testing.T) {

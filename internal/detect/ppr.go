@@ -1,0 +1,238 @@
+package detect
+
+import (
+	"fmt"
+	"sort"
+
+	"gpluscircles/internal/graph"
+)
+
+// PPROptions tunes the approximate personalized-PageRank push.
+type PPROptions struct {
+	// Alpha is the teleport probability (default 0.15): the chance the
+	// walk restarts at the seed instead of following an edge.
+	Alpha float64
+	// Eps is the residual tolerance (default 1e-4): the push terminates
+	// when every vertex v holds residual r(v) < Eps·deg(v), which bounds
+	// the approximation error of p(v)/deg(v) by Eps (Andersen–Chung–Lang,
+	// Theorem 1).
+	Eps float64
+	// MaxPush caps the number of push operations as a safety valve
+	// against pathological parameters (default 0: no cap; the eps bound
+	// alone guarantees termination in at most 1/(eps·alpha) pushes of
+	// residual mass).
+	MaxPush int
+}
+
+func (o PPROptions) withDefaults() PPROptions {
+	if o.Alpha <= 0 || o.Alpha >= 1 {
+		o.Alpha = 0.15
+	}
+	if o.Eps <= 0 {
+		o.Eps = 1e-4
+	}
+	return o
+}
+
+// PPRVector is the result of one push: a sparse approximate PPR vector.
+// It aliases the workspace that produced it and is valid only until that
+// workspace's next Push.
+type PPRVector struct {
+	// Support lists the vertices with positive approximate score p(v),
+	// ascending by vertex id.
+	Support []graph.VID
+	// Touched lists every vertex with nonzero p or residual r, ascending;
+	// a superset of Support. Mass conservation holds over Touched.
+	Touched []graph.VID
+	// Pushes counts the push operations performed.
+	Pushes int
+
+	p, r []float64
+}
+
+// Score returns the approximate PPR mass p(u).
+func (v *PPRVector) Score(u graph.VID) float64 { return v.p[u] }
+
+// Residual returns the unpushed residual mass r(u).
+func (v *PPRVector) Residual(u graph.VID) float64 { return v.r[u] }
+
+// DegreeNormalizedOrder returns the support sorted by p(v)/deg(v)
+// descending — the sweep ordering of local spectral clustering. Ties
+// break ascending by vertex id so the ordering (and everything computed
+// from it) is deterministic. Degree-0 vertices order first: their mass
+// can never leave, so p(v)/deg(v) is effectively infinite.
+func (v *PPRVector) DegreeNormalizedOrder(g graph.View) []graph.VID {
+	order := make([]graph.VID, len(v.Support))
+	copy(order, v.Support)
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		da, db := g.Degree(a), g.Degree(b)
+		// Compare p(a)/da vs p(b)/db by cross-multiplication: exact in
+		// the common degree range and free of 0/0 special cases beyond
+		// the explicit zero-degree branches.
+		if da == 0 {
+			if db == 0 {
+				return a < b
+			}
+			return true
+		}
+		if db == 0 {
+			return false
+		}
+		ra := v.p[a] * float64(db)
+		rb := v.p[b] * float64(da)
+		if ra > rb {
+			return true
+		}
+		if ra < rb {
+			return false
+		}
+		return a < b
+	})
+	return order
+}
+
+// PPR is a reusable workspace for approximate personalized-PageRank
+// pushes over views with a common vertex range. Reuse keeps a sweep over
+// many seeds allocation-free in the steady state: only the vertices
+// touched by the previous push are cleared, not the whole arrays. Not
+// safe for concurrent use; parallel sweeps hold one PPR per worker.
+type PPR struct {
+	p, r    []float64
+	queued  []bool
+	queue   []graph.VID
+	touched []graph.VID
+	vec     PPRVector
+}
+
+// NewPPR returns a workspace for views with up to n vertices.
+func NewPPR(n int) *PPR {
+	return &PPR{
+		p:      make([]float64, n),
+		r:      make([]float64, n),
+		queued: make([]bool, n),
+	}
+}
+
+func (w *PPR) grow(n int) {
+	if len(w.p) < n {
+		w.p = make([]float64, n)
+		w.r = make([]float64, n)
+		w.queued = make([]bool, n)
+		w.touched = w.touched[:0]
+	}
+}
+
+// Push computes an approximate PPR vector personalized on seed with the
+// Andersen–Chung–Lang push procedure: repeatedly pick a vertex u with
+// r(u) ≥ eps·deg(u), move alpha·r(u) into p(u), spread (1−alpha)·r(u)
+// evenly over u's neighbors' residuals, and zero r(u). At termination
+// every residual satisfies r(v) < eps·deg(v) and the total mass p + r
+// still sums to 1 (floating-point roundoff aside) — both properties are
+// asserted by the detect property tests over the seed datasets.
+//
+// Directed views diffuse over the union adjacency (out- and in-
+// neighbors), matching graph.Degree and the undirected reading the
+// paper's conductance metric takes of the social graph.
+//
+// The returned vector aliases the workspace and is valid until the next
+// Push. An out-of-range seed returns ErrBadSeed.
+func (w *PPR) Push(g graph.View, seed graph.VID, opts PPROptions) (*PPRVector, error) {
+	n := g.NumVertices()
+	if seed < 0 || int(seed) >= n {
+		return nil, fmt.Errorf("%w: %d", ErrBadSeed, seed)
+	}
+	opts = opts.withDefaults()
+	w.grow(n)
+	// Lazy clear: only what the previous push dirtied.
+	for _, v := range w.touched {
+		w.p[v] = 0
+		w.r[v] = 0
+		w.queued[v] = false
+	}
+	w.touched = w.touched[:0]
+	w.queue = w.queue[:0]
+
+	touch := func(v graph.VID) {
+		// touched is append-only and deduplicated via the p/r zero state:
+		// a vertex is recorded the first time mass reaches it.
+		w.touched = append(w.touched, v)
+	}
+
+	w.r[seed] = 1
+	touch(seed)
+	if g.Degree(seed) == 0 {
+		// An isolated seed holds all mass forever: the walk can never
+		// leave, so the exact PPR vector is the indicator of the seed.
+		w.p[seed] = 1
+		w.r[seed] = 0
+		return w.finish(g, 0), nil
+	}
+	w.queue = append(w.queue, seed)
+	w.queued[seed] = true
+
+	directed := g.Directed()
+	pushes := 0
+	for len(w.queue) > 0 {
+		if opts.MaxPush > 0 && pushes >= opts.MaxPush {
+			break
+		}
+		u := w.queue[0]
+		w.queue = w.queue[1:]
+		w.queued[u] = false
+		deg := float64(g.Degree(u))
+		ru := w.r[u]
+		if ru < opts.Eps*deg {
+			// Stale queue entry: the residual was pushed below threshold
+			// by an earlier pop before this one drained.
+			continue
+		}
+		pushes++
+		w.p[u] += opts.Alpha * ru
+		w.r[u] = 0
+		share := (1 - opts.Alpha) * ru / deg
+		spread := func(v graph.VID) {
+			if w.p[v] == 0 && w.r[v] == 0 { //lint:ignore floateq zero is the exact untouched state
+				touch(v)
+			}
+			w.r[v] += share
+			if !w.queued[v] && w.r[v] >= opts.Eps*float64(g.Degree(v)) {
+				w.queue = append(w.queue, v)
+				w.queued[v] = true
+			}
+		}
+		for _, v := range g.OutNeighbors(u) {
+			spread(v)
+		}
+		if directed {
+			for _, v := range g.InNeighbors(u) {
+				spread(v)
+			}
+		}
+	}
+	return w.finish(g, pushes), nil
+}
+
+// finish sorts the touched set and materializes the result vector.
+func (w *PPR) finish(g graph.View, pushes int) *PPRVector {
+	sort.Slice(w.touched, func(i, j int) bool { return w.touched[i] < w.touched[j] })
+	support := make([]graph.VID, 0, len(w.touched))
+	for _, v := range w.touched {
+		if w.p[v] > 0 {
+			support = append(support, v)
+		}
+	}
+	w.vec = PPRVector{
+		Support: support,
+		Touched: w.touched,
+		Pushes:  pushes,
+		p:       w.p,
+		r:       w.r,
+	}
+	return &w.vec
+}
+
+// ApproxPPR is the convenience form of PPR.Push for one-off calls.
+func ApproxPPR(g graph.View, seed graph.VID, opts PPROptions) (*PPRVector, error) {
+	return NewPPR(g.NumVertices()).Push(g, seed, opts)
+}

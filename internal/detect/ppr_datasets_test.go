@@ -1,0 +1,90 @@
+package detect_test
+
+import (
+	"math"
+	"testing"
+
+	"gpluscircles/internal/core"
+	"gpluscircles/internal/detect"
+	"gpluscircles/internal/graph"
+)
+
+// TestPPRPropertiesOnSeedDatasets drives the push invariants over all
+// five seed data sets (the paper's four networks plus the crawl): mass
+// conservation within 1e-12, the eps·deg residual bound at termination,
+// and a sweep ordering that is a permutation of the support. An external
+// test package so the kernel package itself stays below core in the
+// layer map.
+func TestPPRPropertiesOnSeedDatasets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dataset generation in -short mode")
+	}
+	suite := core.NewSuite(core.SuiteOptions{Scale: 0.1, Seed: 3})
+	const eps = 1e-4
+	for _, name := range core.DatasetNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			ds, err := suite.DatasetByName(name)
+			if err != nil {
+				t.Fatalf("dataset %s: %v", name, err)
+			}
+			g := ds.Graph
+			n := g.NumVertices()
+			if n == 0 {
+				t.Fatalf("dataset %s is empty", name)
+			}
+			w := detect.NewPPR(n)
+			// A spread of structurally different seeds: first, middle,
+			// last, and the maximum-degree vertex.
+			seeds := []graph.VID{0, graph.VID(n / 2), graph.VID(n - 1), maxDegreeVertex(g)}
+			for _, seed := range seeds {
+				vec, err := w.Push(g, seed, detect.PPROptions{Eps: eps})
+				if err != nil {
+					t.Fatalf("push seed %d: %v", seed, err)
+				}
+				var mass float64
+				for _, v := range vec.Touched {
+					mass += vec.Score(v) + vec.Residual(v)
+				}
+				if math.Abs(mass-1) > 1e-12 {
+					t.Errorf("seed %d: mass p+r = %.17g, want 1 within 1e-12", seed, mass)
+				}
+				for _, v := range vec.Touched {
+					deg := float64(g.Degree(v))
+					if deg > 0 && vec.Residual(v) >= eps*deg {
+						t.Errorf("seed %d: residual bound violated at %d: r=%v >= %v",
+							seed, v, vec.Residual(v), eps*deg)
+					}
+					if vec.Score(v) < 0 || vec.Residual(v) < 0 {
+						t.Errorf("seed %d: negative mass at %d: p=%v r=%v",
+							seed, v, vec.Score(v), vec.Residual(v))
+					}
+				}
+				order := vec.DegreeNormalizedOrder(g)
+				if len(order) != len(vec.Support) {
+					t.Fatalf("seed %d: order %d vertices, support %d", seed, len(order), len(vec.Support))
+				}
+				inSupport := make(map[graph.VID]bool, len(vec.Support))
+				for _, v := range vec.Support {
+					inSupport[v] = true
+				}
+				for _, v := range order {
+					if !inSupport[v] {
+						t.Fatalf("seed %d: order vertex %d not in support", seed, v)
+					}
+					delete(inSupport, v)
+				}
+			}
+		})
+	}
+}
+
+func maxDegreeVertex(g *graph.Graph) graph.VID {
+	best := graph.VID(0)
+	for v := graph.VID(1); int(v) < g.NumVertices(); v++ {
+		if g.Degree(v) > g.Degree(best) {
+			best = v
+		}
+	}
+	return best
+}

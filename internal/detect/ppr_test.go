@@ -1,0 +1,195 @@
+package detect
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"gpluscircles/internal/graph"
+)
+
+func pprGraph(t *testing.T, directed bool, edges [][2]int64) *graph.Graph {
+	t.Helper()
+	g, err := graph.FromEdges(directed, edges)
+	if err != nil {
+		t.Fatalf("build graph: %v", err)
+	}
+	return g
+}
+
+func clique(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	var edges [][2]int64
+	for u := int64(0); u < int64(n); u++ {
+		for v := u + 1; v < int64(n); v++ {
+			edges = append(edges, [2]int64{u, v})
+		}
+	}
+	return pprGraph(t, false, edges)
+}
+
+// checkMassAndResidual asserts the two push invariants: total mass p + r
+// over the touched set conserved within 1e-12, and every residual below
+// the eps·deg termination threshold.
+func checkMassAndResidual(t *testing.T, g graph.View, vec *PPRVector, eps float64) {
+	t.Helper()
+	var mass float64
+	for _, v := range vec.Touched {
+		mass += vec.Score(v) + vec.Residual(v)
+	}
+	if math.Abs(mass-1) > 1e-12 {
+		t.Errorf("mass p+r = %.17g, want 1 within 1e-12", mass)
+	}
+	for _, v := range vec.Touched {
+		deg := float64(g.Degree(v))
+		if deg > 0 && vec.Residual(v) >= eps*deg {
+			t.Errorf("residual bound violated at %d: r=%v >= eps*deg=%v", v, vec.Residual(v), eps*deg)
+		}
+	}
+}
+
+func TestPPRCliqueNearUniform(t *testing.T) {
+	const n = 30
+	const eps = 1e-7
+	g := clique(t, n)
+	vec, err := ApproxPPR(g, 0, PPROptions{Eps: eps})
+	if err != nil {
+		t.Fatalf("push: %v", err)
+	}
+	checkMassAndResidual(t, g, vec, eps)
+	if len(vec.Support) != n {
+		t.Fatalf("clique support = %d vertices, want %d", len(vec.Support), n)
+	}
+	// The seed keeps its teleport bonus; all other vertices are
+	// exchangeable and must score near-uniformly.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for v := graph.VID(1); v < n; v++ {
+		s := vec.Score(v)
+		lo = math.Min(lo, s)
+		hi = math.Max(hi, s)
+	}
+	if vec.Score(0) <= hi {
+		t.Errorf("seed score %v not above peer max %v", vec.Score(0), hi)
+	}
+	if (hi-lo)/hi > 1e-2 {
+		t.Errorf("peer scores not near-uniform: [%v, %v]", lo, hi)
+	}
+}
+
+func TestPPRIsolatedSeed(t *testing.T) {
+	// Vertex 3 exists but has no edges.
+	b := graph.NewBuilder(false)
+	b.AddEdge(0, 1)
+	b.AddVertex(3)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	seed, ok := g.Lookup(3)
+	if !ok {
+		t.Fatal("vertex 3 missing")
+	}
+	vec, err := ApproxPPR(g, seed, PPROptions{})
+	if err != nil {
+		t.Fatalf("push: %v", err)
+	}
+	if vec.Score(seed) != 1 { //lint:ignore floateq isolated seed is exact
+		t.Errorf("isolated seed score = %v, want exactly 1", vec.Score(seed))
+	}
+	if len(vec.Support) != 1 || vec.Support[0] != seed {
+		t.Errorf("isolated seed support = %v, want [%d]", vec.Support, seed)
+	}
+	if vec.Pushes != 0 {
+		t.Errorf("isolated seed pushes = %d, want 0", vec.Pushes)
+	}
+}
+
+func TestPPRBadSeed(t *testing.T) {
+	g := pprGraph(t, false, [][2]int64{{0, 1}})
+	if _, err := ApproxPPR(g, -1, PPROptions{}); !errors.Is(err, ErrBadSeed) {
+		t.Errorf("seed -1: got %v, want ErrBadSeed", err)
+	}
+	if _, err := ApproxPPR(g, 99, PPROptions{}); !errors.Is(err, ErrBadSeed) {
+		t.Errorf("seed 99: got %v, want ErrBadSeed", err)
+	}
+}
+
+// Workspace reuse must be invisible: pushing seed A then seed B yields
+// bit-identical scores to a fresh workspace pushing B.
+func TestPPRWorkspaceReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := pprGraph(t, false, randomPPREdges(rng, 60, 200))
+	w := NewPPR(g.NumVertices())
+	if _, err := w.Push(g, 0, PPROptions{}); err != nil {
+		t.Fatalf("first push: %v", err)
+	}
+	reused, err := w.Push(g, 7, PPROptions{})
+	if err != nil {
+		t.Fatalf("reused push: %v", err)
+	}
+	fresh, err := ApproxPPR(g, 7, PPROptions{})
+	if err != nil {
+		t.Fatalf("fresh push: %v", err)
+	}
+	if len(reused.Support) != len(fresh.Support) {
+		t.Fatalf("support sizes differ: %d vs %d", len(reused.Support), len(fresh.Support))
+	}
+	for i, v := range fresh.Support {
+		if reused.Support[i] != v {
+			t.Fatalf("support[%d] = %d vs %d", i, reused.Support[i], v)
+		}
+		if reused.Score(v) != fresh.Score(v) { //lint:ignore floateq reuse must be bit-identical
+			t.Fatalf("score(%d) = %v vs %v", v, reused.Score(v), fresh.Score(v))
+		}
+		if reused.Residual(v) != fresh.Residual(v) { //lint:ignore floateq reuse must be bit-identical
+			t.Fatalf("residual(%d) = %v vs %v", v, reused.Residual(v), fresh.Residual(v))
+		}
+	}
+}
+
+func TestPPRDegreeNormalizedOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := pprGraph(t, true, randomPPREdges(rng, 50, 220))
+	vec, err := ApproxPPR(g, 1, PPROptions{Eps: 1e-5})
+	if err != nil {
+		t.Fatalf("push: %v", err)
+	}
+	checkMassAndResidual(t, g, vec, 1e-5)
+	order := vec.DegreeNormalizedOrder(g)
+	if len(order) != len(vec.Support) {
+		t.Fatalf("order has %d vertices, support %d", len(order), len(vec.Support))
+	}
+	seen := make(map[graph.VID]bool, len(order))
+	for i, v := range order {
+		if seen[v] {
+			t.Fatalf("order repeats vertex %d", v)
+		}
+		seen[v] = true
+		if i == 0 {
+			continue
+		}
+		u := order[i-1]
+		// p(u)/deg(u) >= p(v)/deg(v) via cross-multiplication, ties by id.
+		du, dv := float64(g.Degree(u)), float64(g.Degree(v))
+		ru, rv := vec.Score(u)*dv, vec.Score(v)*du
+		if ru < rv {
+			t.Fatalf("order[%d..%d] not descending: %v < %v", i-1, i, ru, rv)
+		}
+		if ru == rv && u > v { //lint:ignore floateq tie detection mirrors the comparator
+			t.Fatalf("tie at order[%d..%d] not broken by id: %d before %d", i-1, i, u, v)
+		}
+	}
+}
+
+func randomPPREdges(rng *rand.Rand, n, m int) [][2]int64 {
+	edges := make([][2]int64, 0, m+n)
+	for i := 0; i < m; i++ {
+		edges = append(edges, [2]int64{rng.Int63n(int64(n)), rng.Int63n(int64(n))})
+	}
+	// Cycle so every vertex exists and has degree > 0.
+	for v := int64(0); v < int64(n); v++ {
+		edges = append(edges, [2]int64{v, (v + 1) % int64(n)})
+	}
+	return edges
+}

@@ -30,6 +30,17 @@ var (
 	// change between commits while replay tooling settles on it.
 	BatchScoring = Register("batch-scoring",
 		"NDJSON batch scoring (POST /v1/score/batch, circleload -batch)")
+
+	// NCPSweep gates the network-community-profile surface: the ncp
+	// experiment selection in circlebench and POST /v1/ncp on circled,
+	// both backed by internal/ncp (the first package-level gate, marked
+	// with //experiments:package so expboundary keeps it out of stable
+	// imports). The PPR push and sweep-cut kernels underneath live in
+	// stable packages; the gate covers the sweep driver's knobs — seed
+	// stratification, eps/size defaults, the curve wire shape — which
+	// may change while the NCP reading of the paper settles.
+	NCPSweep = Register("ncp-sweep",
+		"network community profile sweep (circlebench -experiment ncp, POST /v1/ncp)")
 )
 
 func init() {
@@ -40,12 +51,10 @@ func init() {
 	Conclude("scale-edgelist",
 		`the "scale-edgelist" experiment is defunct: the paper-scale data set is now built by the streaming pipeline; use -experiments=scale-pipeline instead`)
 
-	// No package is experiment-gated yet: the scale surface lives behind
-	// function-level gates inside stable packages. The first package-level
-	// experiment will be the NCP sweep (ROADMAP), declared here as
-	//
-	//	GatePackage("gpluscircles/internal/ncp", NCPSweep.Name)
-	//
-	// or equivalently with an //experiments:package marker in the package
-	// itself; circlelint's expboundary analyzer enforces either form.
+	// The NCP sweep package is the first package-level gate. The package
+	// also carries an //experiments:package marker (which is what
+	// circlelint's expboundary analyzer reads); registering it here too
+	// keeps the registry the single human-readable inventory of the
+	// gated surface.
+	GatePackage("gpluscircles/internal/ncp", NCPSweep.Name)
 }

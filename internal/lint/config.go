@@ -131,8 +131,8 @@ func DefaultConfig() *Config {
 		// serve/api is the wire contract every serving-tier client shares;
 		// serve itself is restricted below to the binary that embodies it.
 		CommandAllow: layer("cliflag", "core", "dataset", "detect", "experiments",
-			"graph", "graphalgo", "lint", "obs", "powerlaw", "report", "score",
-			"serve", "serve/api", "synth"),
+			"graph", "graphalgo", "lint", "ncp", "obs", "powerlaw", "report",
+			"score", "serve", "serve/api", "synth"),
 		CommandRestrict: map[string][]string{
 			mod + "/internal/serve": {mod + "/cmd/circled"},
 		},

@@ -1,0 +1,135 @@
+package ncp
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"gpluscircles/internal/core"
+	"gpluscircles/internal/experiments"
+	"gpluscircles/internal/serve/api"
+)
+
+// Request bounds: the endpoint runs inline (no worker-pool admission, no
+// result cache — it is experimental), so the knobs are capped to keep a
+// single request's work proportionate.
+const (
+	maxBodyBytes   = 1 << 20
+	maxSeeds       = 512
+	maxSweepSize   = 10000
+	maxNullSamples = 8
+)
+
+// Handler answers POST /v1/ncp with a network community profile sweep
+// of the requested data set. The route is mounted on circled through
+// serve.Options.ExtraRoutes, which keeps the stable serving layer free
+// of imports of this gated package; the handler gates every request on
+// the ncp-sweep experiment, so mounting it unconditionally is safe.
+//
+// Responses are deterministic for a fixed suite: the sweep merges its
+// parallel minima in seed order, so the body bytes are a pure function
+// of the request, same as the stable /v1 endpoints.
+func Handler(suite *core.Suite, set experiments.Set) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if err := set.Require(experiments.NCPSweep); err != nil {
+			writeNCPError(w, http.StatusBadRequest, api.CodeExperimentGated, err.Error())
+			return
+		}
+		var req api.NCPRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeNCPError(w, http.StatusBadRequest, api.CodeInvalidRequest, "decode request: "+err.Error())
+			return
+		}
+		if req.Dataset == "" {
+			writeNCPError(w, http.StatusBadRequest, api.CodeInvalidRequest, "dataset is required")
+			return
+		}
+		if req.Seeds < 0 || req.Seeds > maxSeeds {
+			writeNCPError(w, http.StatusBadRequest, api.CodeInvalidRequest,
+				fmt.Sprintf("seeds must be in [0, %d], got %d", maxSeeds, req.Seeds))
+			return
+		}
+		if req.Eps < 0 || req.Alpha < 0 || req.Alpha >= 1 {
+			writeNCPError(w, http.StatusBadRequest, api.CodeInvalidRequest,
+				"eps must be >= 0 and alpha in [0, 1)")
+			return
+		}
+		if req.MaxSize < 0 || req.MaxSize > maxSweepSize {
+			writeNCPError(w, http.StatusBadRequest, api.CodeInvalidRequest,
+				fmt.Sprintf("max_size must be in [0, %d], got %d", maxSweepSize, req.MaxSize))
+			return
+		}
+		if req.NullSamples < 0 || req.NullSamples > maxNullSamples {
+			writeNCPError(w, http.StatusBadRequest, api.CodeInvalidRequest,
+				fmt.Sprintf("null_samples must be in [0, %d], got %d", maxNullSamples, req.NullSamples))
+			return
+		}
+		ds, err := suite.DatasetByName(req.Dataset)
+		if err != nil {
+			if errors.Is(err, core.ErrUnknownDataset) {
+				writeNCPError(w, http.StatusNotFound, api.CodeUnknownDataset, err.Error())
+				return
+			}
+			writeNCPError(w, http.StatusInternalServerError, api.CodeInternal, err.Error())
+			return
+		}
+
+		opts := Options{
+			Seeds:   req.Seeds,
+			Eps:     req.Eps,
+			Alpha:   req.Alpha,
+			MaxSize: req.MaxSize,
+			Seed:    req.Seed,
+		}
+		curve, err := Sweep(ds.Graph, opts)
+		if err != nil {
+			writeNCPError(w, http.StatusInternalServerError, api.CodeInternal, err.Error())
+			return
+		}
+		resp := api.NCPResponse{
+			Dataset: req.Dataset,
+			Seeds:   curve.Seeds,
+			Eps:     curve.Eps,
+			Alpha:   curve.Alpha,
+			Points:  apiPoints(curve),
+		}
+		if req.NullSamples > 0 {
+			seed := req.Seed
+			if seed == 0 {
+				seed = 1
+			}
+			nullCurve, err := NullCurve(ds.Graph, req.NullSamples, seed, suite.NullArena(ds.Graph), opts)
+			if err != nil {
+				writeNCPError(w, http.StatusInternalServerError, api.CodeInternal, err.Error())
+				return
+			}
+			resp.NullPoints = apiPoints(nullCurve)
+			resp.NullSamples = req.NullSamples
+		}
+
+		body, err := json.Marshal(resp)
+		if err != nil {
+			writeNCPError(w, http.StatusInternalServerError, api.CodeInternal, err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
+	})
+}
+
+func apiPoints(c *Curve) []api.NCPPoint {
+	pts := make([]api.NCPPoint, len(c.Points))
+	for i, p := range c.Points {
+		pts[i] = api.NCPPoint{Size: p.Size, Conductance: p.Conductance}
+	}
+	return pts
+}
+
+func writeNCPError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(api.ErrorBody(code, msg))
+}

@@ -10,6 +10,7 @@
 //
 //	POST /v1/score                  ScoreRequest  -> ScoreResponse
 //	POST /v1/score/batch            NDJSON of ScoreRequest -> NDJSON of BatchLine
+//	POST /v1/ncp                    NCPRequest    -> NCPResponse (gated: ncp-sweep)
 //	GET  /v1/characterize/{dataset} -> CharacterizeResponse
 //	GET  /v1/datasets               -> []DatasetInfo
 //	GET  /v1/experiments            -> []ExperimentInfo

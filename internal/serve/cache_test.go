@@ -169,3 +169,79 @@ func TestCacheDisabled(t *testing.T) {
 		t.Errorf("disabled cache counted traffic: %+v", snap.Counters)
 	}
 }
+
+// TestSwapSuiteInvalidatesCache: the suite generation is part of every
+// cache key, so a SwapSuite bump makes previously cached bodies
+// unreachable — the reloaded-suite-serves-stale-bytes hazard is
+// structurally closed. Unary score, characterize and key construction
+// are all checked.
+func TestSwapSuiteInvalidatesCache(t *testing.T) {
+	s := newTestServer(t, Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	group, _ := firstGroup(t, "gplus")
+	req := api.ScoreRequest{Dataset: "gplus", Group: group}
+
+	post := func() (bool, []byte) {
+		t.Helper()
+		resp, err := ts.Client().Post(ts.URL+"/v1/score", "application/json",
+			bytes.NewReader(mustMarshal(t, req)))
+		if err != nil {
+			t.Fatalf("post: %v", err)
+		}
+		defer resp.Body.Close()
+		body := readAll(t, resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d, body %s", resp.StatusCode, body)
+		}
+		return resp.Header.Get("X-Cache") == "hit", body
+	}
+	get := func(path string) bool {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("get %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		readAll(t, resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("get %s: status %d", path, resp.StatusCode)
+		}
+		return resp.Header.Get("X-Cache") == "hit"
+	}
+
+	keyBefore := s.genKey("characterize/gplus")
+	if hit, _ := post(); hit {
+		t.Fatal("first request claimed a cache hit")
+	}
+	hit, warm := post()
+	if !hit {
+		t.Fatal("repeat before swap was not a cache hit")
+	}
+	get("/v1/characterize/gplus")
+	if !get("/v1/characterize/gplus") {
+		t.Fatal("characterize repeat before swap was not a cache hit")
+	}
+
+	// Swap to a suite with identical options: the cached bytes would be
+	// valid by value, but the generation bump must still retire them —
+	// the server cannot know the new suite is equivalent.
+	s.SwapSuite(testSuite())
+	if keyAfter := s.genKey("characterize/gplus"); keyAfter == keyBefore {
+		t.Fatalf("generation not folded into key: %q unchanged across swap", keyAfter)
+	}
+
+	hit, fresh := post()
+	if hit {
+		t.Fatal("request after SwapSuite served a pre-swap cache entry")
+	}
+	if !bytes.Equal(fresh, warm) {
+		t.Errorf("recomputed body differs for an identical suite:\n%s\n%s", fresh, warm)
+	}
+	if get("/v1/characterize/gplus") {
+		t.Fatal("characterize after SwapSuite served a pre-swap cache entry")
+	}
+	if hit, _ := post(); !hit {
+		t.Fatal("repeat after swap did not re-warm the cache")
+	}
+}

@@ -166,7 +166,7 @@ func (s *Server) resolveScore(req api.ScoreRequest) (*scoreJob, *httpErr) {
 		ds:      ds,
 		members: members,
 		funcs:   fns,
-		key:     scoreKey(&req, members),
+		key:     s.genKey(scoreKey(&req, members)),
 	}, nil
 }
 
@@ -240,7 +240,7 @@ func (s *Server) runScore(ctx context.Context, job *scoreJob) ([]byte, int) {
 		return errorBody(api.CodeCancelled, "cancelled before scoring: %v", err), http.StatusServiceUnavailable
 	}
 	g := job.ds.Graph
-	sctx := s.suite.ScoreContext(g)
+	sctx := s.suite.Load().ScoreContext(g)
 	resp := api.ScoreResponse{
 		Dataset: job.req.Dataset,
 		Group:   job.req.Group,
@@ -250,7 +250,7 @@ func (s *Server) runScore(ctx context.Context, job *scoreJob) ([]byte, int) {
 		est, err := nullmodel.NewEmpiricalEstimatorCtx(ctx, g, nullmodel.EstimatorOptions{
 			Samples:  job.req.NullSamples,
 			Seed:     job.req.Seed,
-			Arena:    s.suite.NullArena(g),
+			Arena:    s.suite.Load().NullArena(g),
 			Recorder: s.rec,
 		})
 		if err != nil {
@@ -302,7 +302,7 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 		writeError(w, herr.status, herr.code, herr.msg)
 		return
 	}
-	s.dispatch(w, r, "characterize/"+name, func() func(ctx context.Context) ([]byte, int) {
+	s.dispatch(w, r, s.genKey("characterize/"+name), func() func(ctx context.Context) ([]byte, int) {
 		return func(ctx context.Context) ([]byte, int) {
 			return s.runCharacterize(ctx, name, ds)
 		}
@@ -316,7 +316,7 @@ func (s *Server) runCharacterize(ctx context.Context, name string, ds *synth.Dat
 	if err := ctx.Err(); err != nil {
 		return errorBody(api.CodeCancelled, "cancelled before characterization: %v", err), http.StatusServiceUnavailable
 	}
-	p, err := s.suite.Profile(ds)
+	p, err := s.suite.Load().Profile(ds)
 	if err != nil {
 		return errorBody(api.CodeInternal, "characterize %s: %v", name, err), http.StatusInternalServerError
 	}

@@ -58,6 +58,7 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -111,6 +112,14 @@ type Options struct {
 	// reported by GET /v1/experiments.
 	Experiments experiments.Set
 
+	// ExtraRoutes mounts additional handlers on the server's mux, keyed
+	// by ServeMux pattern (e.g. "POST /v1/ncp"). This is the seam gated
+	// packages use to add endpoints without the stable serving layer
+	// importing them — the owning binary wires the handler in. Extra
+	// routes bypass the worker pool, queue and result cache; handlers
+	// are responsible for their own bounds and gating.
+	ExtraRoutes map[string]http.Handler
+
 	// workerHook, when set (tests only), runs in the worker goroutine
 	// after a call is dequeued and before it executes — the test lever
 	// for holding the pool busy deterministically.
@@ -153,8 +162,13 @@ func (o Options) withDefaults() Options {
 // with Start (ListenAndServe does both), and stop with Shutdown. A
 // Server is safe for concurrent use by the http stack.
 type Server struct {
-	opts  Options
-	suite *core.Suite
+	opts Options
+	// suite is swappable at runtime (SwapSuite); handlers load it once
+	// per request. gen is bumped on every swap and folded into every
+	// result-cache and coalescing key, so a reloaded suite can never
+	// serve bytes computed against its predecessor.
+	suite atomic.Pointer[core.Suite]
+	gen   atomic.Uint64
 	rec   *obs.Recorder
 	mux   *http.ServeMux
 	cache *resultCache
@@ -194,7 +208,6 @@ func NewServer(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	s := &Server{
 		opts:  opts,
-		suite: opts.Suite,
 		rec:   opts.Recorder,
 		cache: newResultCache(opts.CacheSize, opts.Recorder),
 		queue: make(chan *call, opts.QueueDepth),
@@ -211,6 +224,7 @@ func NewServer(opts Options) (*Server, error) {
 		tRequest:    opts.Recorder.Timer("serve/request"),
 		tScore:      opts.Recorder.Timer("serve/score"),
 	}
+	s.suite.Store(opts.Suite)
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/score", s.handleScore)
 	mux.HandleFunc("POST /v1/score/batch", s.handleScoreBatch)
@@ -219,8 +233,42 @@ func NewServer(opts Options) (*Server, error) {
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// Sorted so duplicate-pattern panics from ServeMux are deterministic.
+	patterns := make([]string, 0, len(opts.ExtraRoutes))
+	for p := range opts.ExtraRoutes {
+		patterns = append(patterns, p)
+	}
+	sort.Strings(patterns)
+	for _, p := range patterns {
+		mux.Handle(p, opts.ExtraRoutes[p])
+	}
 	s.mux = mux
 	return s, nil
+}
+
+// SwapSuite replaces the suite serving new requests and bumps the cache
+// generation, invalidating every previously cached body and in-flight
+// coalescing key: ROADMAP's stale-bytes hazard — reload the suite,
+// keep serving old cache entries — is structurally impossible because
+// the generation is part of every key. In-flight requests finish
+// against the suite they loaded; the group index is rebuilt lazily
+// against the new suite.
+func (s *Server) SwapSuite(suite *core.Suite) {
+	if suite == nil {
+		return
+	}
+	s.suite.Store(suite)
+	s.gen.Add(1)
+	s.groupsMu.Lock()
+	s.groups = nil
+	s.groupsMu.Unlock()
+}
+
+// genKey prefixes a cache/coalescing key with the current suite
+// generation. Every dispatch and batch key passes through here, so a
+// key can never outlive the suite whose bytes it names.
+func (s *Server) genKey(key string) string {
+	return "g" + strconv.FormatUint(s.gen.Load(), 10) + "/" + key
 }
 
 // Handler returns the service's HTTP handler, for embedding under
@@ -457,7 +505,7 @@ func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
 	s.mRequests.Inc()
 	out := make([]api.DatasetInfo, 0, len(core.DatasetNames()))
 	for _, name := range core.DatasetNames() {
-		ds, err := s.suite.DatasetByName(name)
+		ds, err := s.suite.Load().DatasetByName(name)
 		if err != nil {
 			s.mErrors.Inc()
 			writeError(w, http.StatusInternalServerError, api.CodeInternal, err.Error())
@@ -517,7 +565,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // suiteDataset exists so score.go can share the one lookup-and-classify
 // path for dataset resolution errors.
 func (s *Server) suiteDataset(name string) (*synth.Dataset, *httpErr) {
-	ds, err := s.suite.DatasetByName(name)
+	ds, err := s.suite.Load().DatasetByName(name)
 	if err != nil {
 		if errors.Is(err, core.ErrUnknownDataset) {
 			return nil, &httpErr{status: http.StatusNotFound, code: api.CodeUnknownDataset, msg: err.Error()}
